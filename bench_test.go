@@ -1,0 +1,414 @@
+// Benchmarks: one per reproduced table/figure (see DESIGN.md §4 and
+// EXPERIMENTS.md), plus the ablations DESIGN.md calls out. Each benchmark
+// runs its experiment end-to-end and reports the headline metric through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside the runtime costs.
+//
+// Benchmarks default to the scaled-down configuration; set
+// P2PSHARE_BENCH_SCALE=paper in the environment to run the paper's full
+// §4.4 scale (200 000 documents, 20 000 nodes).
+package p2pshare_test
+
+import (
+	"os"
+	"testing"
+
+	"p2pshare/internal/core"
+	"p2pshare/internal/experiments"
+	"p2pshare/internal/model"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("P2PSHARE_BENCH_SCALE") == "paper" {
+		return experiments.ScalePaper
+	}
+	return experiments.ScaleSmall
+}
+
+// BenchmarkFigure2 regenerates Figure 2: MaxFair normalized cluster
+// popularities under Zipf-like (θ=0.7) category popularities. Paper:
+// achieved fairness 0.981903.
+func BenchmarkFigure2(b *testing.B) {
+	var fair float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure2(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fair = s.Fairness
+	}
+	b.ReportMetric(fair, "fairness")
+}
+
+// BenchmarkFigure3 regenerates Figure 3: random document→category
+// assignment. Paper: achieved fairness 0.974958.
+func BenchmarkFigure3(b *testing.B) {
+	var fair float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure3(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fair = s.Fairness
+	}
+	b.ReportMetric(fair, "fairness")
+}
+
+// BenchmarkFigure4 regenerates Figure 4: fairness before/after the +30%
+// popularity-mass perturbation across θ. Paper: worst case ≈ 0.78.
+func BenchmarkFigure4(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure4(benchScale(), nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, p := range pts {
+			if p.Final < worst {
+				worst = p.Final
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-final-fairness")
+}
+
+// BenchmarkFigure5 regenerates Figure 5: MaxFair_Reassign trajectories.
+// Paper: 7–8 category reassignments reach the 0.92 target.
+func BenchmarkFigure5(b *testing.B) {
+	var maxMoves float64
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Figure5(benchScale(), 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxMoves = 0
+		for _, r := range runs {
+			if float64(r.Moves) > maxMoves {
+				maxMoves = float64(r.Moves)
+			}
+		}
+	}
+	b.ReportMetric(maxMoves, "max-moves")
+}
+
+// BenchmarkScalingTable regenerates the §4.4 in-text scaling study.
+// Paper: > 0.90 even at 50 clusters / 200 categories.
+func BenchmarkScalingTable(b *testing.B) {
+	var min float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ScalingTable(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min = 1
+		for _, r := range rows {
+			if r.Fairness < min {
+				min = r.Fairness
+			}
+		}
+	}
+	b.ReportMetric(min, "min-fairness")
+}
+
+// BenchmarkStorageExample recomputes the §4.3.3 worked example.
+// Paper: 500 MB per node per category, ≈2 GB total.
+func BenchmarkStorageExample(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total = float64(experiments.StorageExample().TotalPerNode) / (1 << 20)
+	}
+	b.ReportMetric(total, "MB-per-node")
+}
+
+// BenchmarkTransferExample recomputes the §6.1.3 worked example.
+// Paper: 16 MB per node pair, 2.5% of nodes engaged.
+func BenchmarkTransferExample(b *testing.B) {
+	var perPair float64
+	for i := 0; i < b.N; i++ {
+		perPair = float64(experiments.TransferExample().BytesPerPair) / (1 << 20)
+	}
+	b.ReportMetric(perPair, "MB-per-pair")
+}
+
+// BenchmarkMassCoverage verifies the §4.3.3 claim that <10% of documents
+// cover 35% of the probability mass for realistic Zipf skews.
+func BenchmarkMassCoverage(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, r := range experiments.MassCoverage() {
+			if r.Theta <= 0.85 && r.TopFraction > worst {
+				worst = r.TopFraction
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst-top-%")
+}
+
+// BenchmarkQueryHops regenerates the §3.3 response-time experiment over
+// the live overlay. Paper: a few hops in the common case, cluster-size
+// worst case.
+func BenchmarkQueryHops(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.QueryHops(benchScale(), 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = r.MeanHops
+	}
+	b.ReportMetric(mean, "mean-hops")
+}
+
+// BenchmarkBaselineComparison regenerates the assigner comparison
+// (MaxFair vs hash/random/round-robin/LPT) — §2's load-balancing argument.
+func BenchmarkBaselineComparison(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AssignerComparison(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mf, hash float64
+		for _, r := range rows {
+			switch r.Name {
+			case "maxfair":
+				mf = r.Fairness
+			case "hash":
+				hash = r.Fairness
+			}
+		}
+		gap = mf - hash
+	}
+	b.ReportMetric(gap, "maxfair-minus-hash")
+}
+
+// BenchmarkRoutingComparison regenerates the object-location comparison
+// (ours vs Chord vs Gnutella) — §2's response-time argument.
+func BenchmarkRoutingComparison(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RoutingComparison(benchScale(), 600, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].MeanHops > 0 {
+			ratio = rows[1].MeanHops / rows[0].MeanHops
+		}
+	}
+	b.ReportMetric(ratio, "chord-hops-over-ours")
+}
+
+// BenchmarkReplicaBalance regenerates the §4.3.3 intra-cluster placement
+// sweep.
+func BenchmarkReplicaBalance(b *testing.B) {
+	var fair float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ReplicaBalance(benchScale(), nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.HotMass == 0.35 {
+				fair = r.MeanIntraFairness
+			}
+		}
+	}
+	b.ReportMetric(fair, "intra-fairness@0.35")
+}
+
+// BenchmarkDynamicAdaptation regenerates the §6 end-to-end dynamic run
+// with adaptation enabled.
+func BenchmarkDynamicAdaptation(b *testing.B) {
+	var min float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DynamicAdaptation(benchScale(), 3, 600, true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min = r.MinMeasured
+	}
+	b.ReportMetric(min, "min-measured-fairness")
+}
+
+// BenchmarkRebalanceCost measures the lazy rebalancing protocol's transfer
+// traffic in the live overlay (§6.1.3's simulated counterpart).
+func BenchmarkRebalanceCost(b *testing.B) {
+	var mb float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RebalanceCost(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mb = r.TransferMB
+	}
+	b.ReportMetric(mb, "transfer-MB")
+}
+
+// BenchmarkOptimalityGap regenerates the MaxFair-vs-exact comparison
+// (§4.2 NP-completeness context).
+func BenchmarkOptimalityGap(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OptimalityGap(3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = 0
+		for _, r := range rows {
+			if g := r.Exact - r.Greedy; g > gap {
+				gap = g
+			}
+		}
+	}
+	b.ReportMetric(gap, "max-gap")
+}
+
+// BenchmarkModeComparison regenerates the §3.1 intra-cluster design
+// comparison (flood vs super-peer vs routing-index).
+func BenchmarkModeComparison(b *testing.B) {
+	var spShare float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ModeComparison(benchScale(), 600, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode.String() == "super-peer" {
+				spShare = r.TopServedShare
+			}
+		}
+	}
+	b.ReportMetric(spShare*100, "superpeer-top-share-%")
+}
+
+// BenchmarkConfigSweep regenerates the §7(ii) extension: cluster count vs
+// fairness/hops/storage.
+func BenchmarkConfigSweep(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ConfigSweep(benchScale(), nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = rows[0].MeanHops - rows[len(rows)-1].MeanHops
+	}
+	b.ReportMetric(spread, "hops-saved-by-more-clusters")
+}
+
+// BenchmarkPlacementComparison regenerates the §7(vii) extension: hot-set
+// vs proportional replica placement.
+func BenchmarkPlacementComparison(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PlacementComparison(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].TotalReplicas > 0 {
+			saving = 1 - float64(rows[1].TotalReplicas)/float64(rows[0].TotalReplicas)
+		}
+	}
+	b.ReportMetric(saving*100, "replica-saving-%")
+}
+
+// BenchmarkGranularityStudy regenerates the §7(vi) extension: fairness
+// recovered by splitting a flash-topic category.
+func BenchmarkGranularityStudy(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.GranularityStudy(benchScale(), 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rows[len(rows)-1].Fairness - rows[0].Fairness
+	}
+	b.ReportMetric(gain, "fairness-gain-from-splitting")
+}
+
+// BenchmarkCacheEffect regenerates the §7(viii) extension study: per-peer
+// result caches under Zipf demand.
+func BenchmarkCacheEffect(b *testing.B) {
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CacheEffect(benchScale(), 1500, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.CacheMB == 256 && r.Policy.String() == "lru" {
+				hit = r.HitRatio
+			}
+		}
+	}
+	b.ReportMetric(hit, "hit-ratio@256MB")
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationOrdering compares MaxFair's category consideration
+// orders.
+func BenchmarkAblationOrdering(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OrderingAblation(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min, max := 1.0, 0.0
+		for _, r := range rows {
+			if r.Fairness < min {
+				min = r.Fairness
+			}
+			if r.Fairness > max {
+				max = r.Fairness
+			}
+		}
+		spread = max - min
+	}
+	b.ReportMetric(spread, "fairness-spread")
+}
+
+// BenchmarkAblationIncrementalFairness measures the O(1) incremental
+// candidate evaluation against the paper's O(|C|) naive recomputation
+// (identical results; see core.Options.Naive).
+func BenchmarkAblationIncrementalFairness(b *testing.B) {
+	inst := benchInstance(b)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaxFair(inst, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaxFair(inst, core.Options{Naive: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchInstance(b *testing.B) *model.Instance {
+	b.Helper()
+	cfg := benchScale().Config()
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkMaxFairCore isolates the assignment algorithm itself (no
+// instance generation) for throughput measurement.
+func BenchmarkMaxFairCore(b *testing.B) {
+	inst := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MaxFair(inst, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [-seed N] [-only name[,name...]] [-csv dir]
+//
+// Experiment names: figure2 figure3 figure4 figure5 scaling storage
+// transfer coverage assigners hops routing replica dynamic rebalance gap
+// ordering modes configs placement granularity metrics cache. Default is all of them. With -csv, each experiment also
+// writes its data series as dir/<name>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p2pshare/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "comma-separated experiment names (default: all)")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	w := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	section := func(name string) {
+		fmt.Fprintf(w, "\n==== %s (scale=%s, seed=%d) ====\n", name, scale, *seed)
+	}
+	saveCSV := func(name string, write func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(name, err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fail(name, err)
+		}
+		fmt.Fprintf(w, "(csv: %s)\n", path)
+	}
+
+	if run("figure2") {
+		section("figure2")
+		s, err := experiments.Figure2(scale, *seed)
+		if err != nil {
+			fail("figure2", err)
+		}
+		experiments.RenderClusterSeries(w, s)
+		saveCSV("figure2", func(out io.Writer) error { return experiments.ClusterSeriesCSV(out, s) })
+	}
+	if run("figure3") {
+		section("figure3")
+		s, err := experiments.Figure3(scale, *seed)
+		if err != nil {
+			fail("figure3", err)
+		}
+		experiments.RenderClusterSeries(w, s)
+		saveCSV("figure3", func(out io.Writer) error { return experiments.ClusterSeriesCSV(out, s) })
+	}
+	if run("figure4") {
+		section("figure4")
+		pts, err := experiments.Figure4(scale, nil, *seed)
+		if err != nil {
+			fail("figure4", err)
+		}
+		experiments.RenderFigure4(w, pts)
+		saveCSV("figure4", func(out io.Writer) error { return experiments.Figure4CSV(out, pts) })
+	}
+	if run("figure5") {
+		section("figure5")
+		runs, err := experiments.Figure5(scale, 5, *seed)
+		if err != nil {
+			fail("figure5", err)
+		}
+		experiments.RenderFigure5(w, runs)
+		saveCSV("figure5", func(out io.Writer) error { return experiments.Figure5CSV(out, runs) })
+	}
+	if run("scaling") {
+		section("scaling")
+		rows, err := experiments.ScalingTable(scale, *seed)
+		if err != nil {
+			fail("scaling", err)
+		}
+		experiments.RenderScaling(w, rows)
+		saveCSV("scaling", func(out io.Writer) error { return experiments.ScalingCSV(out, rows) })
+	}
+	if run("storage") {
+		section("storage")
+		experiments.RenderStorageExample(w, experiments.StorageExample())
+	}
+	if run("transfer") {
+		section("transfer")
+		experiments.RenderTransferExample(w, experiments.TransferExample())
+	}
+	if run("coverage") {
+		section("coverage")
+		rows := experiments.MassCoverage()
+		experiments.RenderCoverage(w, rows)
+		saveCSV("coverage", func(out io.Writer) error { return experiments.CoverageCSV(out, rows) })
+	}
+	if run("assigners") {
+		section("assigners")
+		rows, err := experiments.AssignerComparison(scale, *seed)
+		if err != nil {
+			fail("assigners", err)
+		}
+		experiments.RenderAssigners(w, rows)
+		saveCSV("assigners", func(out io.Writer) error { return experiments.AssignersCSV(out, rows) })
+	}
+	if run("hops") {
+		section("hops")
+		r, err := experiments.QueryHops(scale, 0, *seed)
+		if err != nil {
+			fail("hops", err)
+		}
+		experiments.RenderQueryHops(w, r)
+	}
+	if run("routing") {
+		section("routing")
+		rows, err := experiments.RoutingComparison(scale, 0, *seed)
+		if err != nil {
+			fail("routing", err)
+		}
+		experiments.RenderRouting(w, rows)
+		saveCSV("routing", func(out io.Writer) error { return experiments.RoutingCSV(out, rows) })
+	}
+	if run("replica") {
+		section("replica")
+		rows, err := experiments.ReplicaBalance(scale, nil, *seed)
+		if err != nil {
+			fail("replica", err)
+		}
+		experiments.RenderReplica(w, rows)
+		saveCSV("replica", func(out io.Writer) error { return experiments.ReplicaCSV(out, rows) })
+	}
+	if run("dynamic") {
+		section("dynamic")
+		with, err := experiments.DynamicAdaptation(scale, 4, 0, true, *seed)
+		if err != nil {
+			fail("dynamic", err)
+		}
+		without, err := experiments.DynamicAdaptation(scale, 4, 0, false, *seed)
+		if err != nil {
+			fail("dynamic", err)
+		}
+		experiments.RenderDynamic(w, with, without)
+		saveCSV("dynamic", func(out io.Writer) error { return experiments.DynamicCSV(out, with, without) })
+	}
+	if run("rebalance") {
+		section("rebalance")
+		r, err := experiments.RebalanceCost(scale, *seed)
+		if err != nil {
+			fail("rebalance", err)
+		}
+		experiments.RenderRebalanceCost(w, r)
+	}
+	if run("gap") {
+		section("gap")
+		rows, err := experiments.OptimalityGap(5, *seed)
+		if err != nil {
+			fail("gap", err)
+		}
+		experiments.RenderGap(w, rows)
+		saveCSV("gap", func(out io.Writer) error { return experiments.GapCSV(out, rows) })
+	}
+	if run("ordering") {
+		section("ordering")
+		rows, err := experiments.OrderingAblation(scale, *seed)
+		if err != nil {
+			fail("ordering", err)
+		}
+		experiments.RenderOrdering(w, rows)
+		saveCSV("ordering", func(out io.Writer) error { return experiments.OrderingCSV(out, rows) })
+	}
+	if run("modes") {
+		section("modes")
+		rows, err := experiments.ModeComparison(scale, 0, *seed)
+		if err != nil {
+			fail("modes", err)
+		}
+		experiments.RenderModes(w, rows)
+		saveCSV("modes", func(out io.Writer) error { return experiments.ModesCSV(out, rows) })
+	}
+	if run("configs") {
+		section("configs")
+		rows, err := experiments.ConfigSweep(scale, nil, *seed)
+		if err != nil {
+			fail("configs", err)
+		}
+		experiments.RenderConfigSweep(w, rows)
+	}
+	if run("placement") {
+		section("placement")
+		rows, err := experiments.PlacementComparison(scale, *seed)
+		if err != nil {
+			fail("placement", err)
+		}
+		experiments.RenderPlacement(w, rows)
+	}
+	if run("metrics") {
+		section("metrics")
+		r, err := experiments.MetricAgreement(scale, *seed)
+		if err != nil {
+			fail("metrics", err)
+		}
+		experiments.RenderMetricAgreement(w, r)
+	}
+	if run("granularity") {
+		section("granularity")
+		rows, err := experiments.GranularityStudy(scale, 8, *seed)
+		if err != nil {
+			fail("granularity", err)
+		}
+		experiments.RenderGranularity(w, rows)
+	}
+	if run("cache") {
+		section("cache")
+		rows, err := experiments.CacheEffect(scale, 0, *seed)
+		if err != nil {
+			fail("cache", err)
+		}
+		experiments.RenderCache(w, rows)
+		saveCSV("cache", func(out io.Writer) error { return experiments.CacheCSV(out, rows) })
+	}
+}

@@ -1,0 +1,84 @@
+// Command p2pnode runs ONE live peer of a multi-process deployment.
+//
+// Every process of a deployment is started with the same shape flags
+// (-docs -cats -nodes -clusters -seed); deterministic generation then
+// reconstructs the identical catalog, MaxFair assignment, and replica
+// placement in each process, so only the address book needs exchanging.
+// The first process is the seed; later ones join through any running
+// peer's address:
+//
+//	p2pnode -id 0 -listen 127.0.0.1:7000
+//	p2pnode -id 1 -listen 127.0.0.1:7001 -bootstrap 127.0.0.1:7000
+//	p2pnode -id 2 -listen 127.0.0.1:7002 -bootstrap 127.0.0.1:7000 \
+//	        -query 3 -every 2s
+//
+// With -query, the node issues keyword queries against the given category
+// on an interval and prints the outcomes; otherwise it serves silently
+// until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/livenet"
+	"p2pshare/internal/model"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this process's node id within the shape")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	bootstrap := flag.String("bootstrap", "", "address of any running peer (empty = seed node)")
+	docs := flag.Int("docs", 800, "shape: number of documents")
+	cats := flag.Int("cats", 16, "shape: number of categories")
+	nodes := flag.Int("nodes", 40, "shape: number of nodes")
+	clusters := flag.Int("clusters", 5, "shape: number of clusters")
+	seed := flag.Int64("seed", 1, "shape: deterministic-generation seed")
+	query := flag.Int("query", -1, "category id to query periodically (-1 = serve only)")
+	every := flag.Duration("every", 2*time.Second, "query interval")
+	m := flag.Int("m", 3, "results per query")
+	flag.Parse()
+
+	shape := livenet.Shape{
+		Documents: *docs, Categories: *cats, Nodes: *nodes,
+		Clusters: *clusters, Seed: *seed,
+	}
+	node, err := livenet.StartNode(shape, model.NodeID(*id), *listen, *bootstrap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2pnode:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("node %d listening on %s (knows %d peers)\n",
+		node.ID(), node.Addr(), node.KnownPeers())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	if *query < 0 {
+		fmt.Println("serving; ctrl-c to exit")
+		<-stop
+		return
+	}
+
+	cat := catalog.CategoryID(*query)
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			out, err := node.Query(cat, *m, 5*time.Second)
+			if err != nil {
+				fmt.Printf("query category %d: %v (%d partial results)\n", cat, err, len(out.Docs))
+				continue
+			}
+			fmt.Printf("query category %d: %d results in %d hop(s)\n", cat, len(out.Docs), out.Hops)
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command p2psim runs a configurable end-to-end simulation of the sharing
+// community: generate, balance, serve a query workload, optionally churn
+// and drift, and adapt — printing load-balance and response-time reports.
+//
+// Usage:
+//
+//	p2psim [-docs N] [-cats N] [-nodes N] [-clusters N] [-seed N]
+//	       [-queries N] [-epochs N] [-drift] [-churn F] [-adapt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2pshare"
+)
+
+func main() {
+	docs := flag.Int("docs", 6000, "number of documents")
+	cats := flag.Int("cats", 120, "number of categories")
+	nodes := flag.Int("nodes", 600, "number of nodes")
+	clusters := flag.Int("clusters", 24, "number of clusters")
+	seed := flag.Int64("seed", 1, "random seed")
+	queries := flag.Int("queries", 1000, "queries per epoch")
+	epochs := flag.Int("epochs", 3, "number of workload epochs")
+	drift := flag.Bool("drift", true, "shift content popularity between epochs")
+	churn := flag.Float64("churn", 0, "fraction of nodes leaving per epoch (0..0.2)")
+	adapt := flag.Bool("adapt", true, "run the adaptation mechanism each epoch")
+	mode := flag.String("mode", "flood", "intra-cluster design: flood, super-peer, routing-index")
+	flag.Parse()
+
+	if *churn < 0 || *churn > 0.2 {
+		fatal(fmt.Errorf("churn %g out of [0, 0.2]", *churn))
+	}
+
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = *docs
+	cfg.Categories = *cats
+	cfg.Nodes = *nodes
+	cfg.Clusters = *clusters
+	cfg.Seed = *seed
+	switch *mode {
+	case "flood":
+		cfg.Mode = p2pshare.ModeFlood
+	case "super-peer":
+		cfg.Mode = p2pshare.ModeSuperPeer
+	case "routing-index":
+		cfg.Mode = p2pshare.ModeRoutingIndex
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	sys, err := p2pshare.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	bal, err := sys.PlannedBalance()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("community: %d docs, %d categories, %d nodes, %d clusters\n",
+		*docs, *cats, *nodes, *clusters)
+	fmt.Printf("initial MaxFair fairness: %.5f\n\n", bal.Fairness)
+
+	leftSoFar := 0
+	for e := 0; e < *epochs; e++ {
+		if e > 0 && *drift {
+			if err := sys.ShiftPopularity(); err != nil {
+				fatal(err)
+			}
+		}
+		if *churn > 0 {
+			n := int(*churn * float64(sys.NumNodes()))
+			for i := 0; i < n; i++ {
+				// Spread departures over the id space, skipping node 0
+				// (our bootstrap for joins).
+				victim := p2pshare.NodeID(1 + (leftSoFar*37)%(sys.NumNodes()-1))
+				leftSoFar++
+				if err := sys.Leave(victim); err != nil {
+					fatal(err)
+				}
+			}
+			for i := 0; i < n/2; i++ {
+				if _, err := sys.Join(3, 0); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		rate, err := sys.RunWorkload(*queries)
+		if err != nil {
+			fatal(err)
+		}
+		measured := sys.MeasuredBalance()
+		fmt.Printf("epoch %d: %d queries, %.1f%% completed, measured fairness %.5f\n",
+			e, *queries, rate*100, measured.Fairness)
+		if *adapt {
+			rep, err := sys.Adapt()
+			if err != nil {
+				fatal(err)
+			}
+			if rep.Rebalanced {
+				fmt.Printf("  adaptation: fairness %.5f -> %.5f with %d moves, %.1f MB transferred\n",
+					rep.MeasuredFairness, rep.FairnessAfter, len(rep.Moves),
+					float64(rep.TransferBytes)/(1<<20))
+			} else {
+				fmt.Printf("  adaptation: measured %.5f, above threshold — no rebalancing\n",
+					rep.MeasuredFairness)
+			}
+		}
+		sys.ResetLoadCounters()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2psim:", err)
+	os.Exit(1)
+}

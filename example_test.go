@@ -1,0 +1,86 @@
+package p2pshare_test
+
+import (
+	"fmt"
+	"log"
+
+	"p2pshare"
+)
+
+// ExampleNew builds a small community and reports its load balance.
+func ExampleNew() {
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = 2000
+	cfg.Categories = 40
+	cfg.Nodes = 200
+	cfg.Clusters = 10
+
+	sys, err := p2pshare.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, err := sys.PlannedBalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peers: %d\n", sys.NumNodes())
+	fmt.Printf("balanced: %v\n", bal.Fairness > 0.95)
+	// Output:
+	// peers: 200
+	// balanced: true
+}
+
+// ExampleSystem_Query searches by keyword: keywords resolve to a semantic
+// category, the category routes to its serving cluster, and results come
+// back within a few hops.
+func ExampleSystem_Query() {
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = 2000
+	cfg.Categories = 40
+	cfg.Nodes = 200
+	cfg.Clusters = 10
+
+	sys, err := p2pshare.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keywords := sys.CategoryKeywords(0)[:1]
+	res, err := sys.Query(17, keywords, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %v, results: %d, few hops: %v\n",
+		res.Done, res.Results, res.Hops <= 3)
+	// Output:
+	// done: true, results: 3, few hops: true
+}
+
+// ExampleSystem_Adapt runs one decentralized adaptation round (§6.1 of
+// the paper): leader election, cluster monitoring, leader communication,
+// fairness evaluation, and — only if the measured load is unfair —
+// rebalancing with lazy transfers.
+func ExampleSystem_Adapt() {
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = 2000
+	cfg.Categories = 40
+	cfg.Nodes = 200
+	cfg.Clusters = 10
+
+	sys, err := p2pshare.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A balanced workload measures fair, so the round takes no action.
+	if _, err := sys.RunWorkload(500); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Adapt()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leaders elected: %v\n", len(rep.Leaders) > 0)
+	fmt.Printf("rebalanced: %v\n", rep.Rebalanced)
+	// Output:
+	// leaders elected: true
+	// rebalanced: false
+}

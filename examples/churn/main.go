@@ -1,0 +1,94 @@
+// Churn: peers enter and leave at will (§6.3). Leavers announce their
+// departure so cluster metadata reorganizes and orphaned documents are
+// re-adopted; joiners bootstrap from any member, copy its DCRT/NRT, and
+// publish their contributions (or dummy-publish as free riders). The
+// example measures content availability across heavy churn.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2pshare"
+)
+
+func main() {
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = 5000
+	cfg.Categories = 100
+	cfg.Nodes = 500
+	cfg.Clusters = 20
+	cfg.Seed = 11
+
+	sys, err := p2pshare.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community: %d peers\n", sys.NumNodes())
+
+	check := func(label string) {
+		rate, err := sys.RunWorkload(600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %.1f%% of 600 queries completed\n", label, rate*100)
+		sys.ResetLoadCounters()
+	}
+	check("baseline:")
+
+	// Wave 1: 10% of peers leave (politely, with leave messages).
+	leavers := sys.NumNodes() / 10
+	for i := 0; i < leavers; i++ {
+		victim := p2pshare.NodeID(1 + i*7) // spread over the id space
+		if err := sys.Leave(victim); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\n-- %d peers left --\n", leavers)
+	check("after departures:")
+
+	// Wave 2: newcomers join through peer 0 — some contribute fresh
+	// content, some are free riders.
+	joined := 0
+	for i := 0; i < 30; i++ {
+		id, err := sys.Join(float64(1+i%5), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joined++
+		if i%3 == 0 { // every third newcomer contributes a new document
+			if _, err := sys.PublishNew(id, 0.002); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\n-- %d peers joined (every 3rd contributed content) --\n", joined)
+	check("after arrivals:")
+
+	// Wave 3: simultaneous churn with drifting tastes.
+	if err := sys.ShiftPopularity(); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sys.Leave(p2pshare.NodeID(3 + i*11)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Join(3, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\n-- 20 leave + 20 join under popularity drift --")
+	check("after combined churn:")
+
+	// One more workload so the adaptation has fresh hit counters to
+	// measure, then let the system decide whether to rebalance.
+	if _, err := sys.RunWorkload(800); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Adapt()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadaptation: measured fairness %.4f, rebalanced=%v (%d moves)\n",
+		rep.MeasuredFairness, rep.Rebalanced, len(rep.Moves))
+}

@@ -1,0 +1,3 @@
+module p2pshare
+
+go 1.22

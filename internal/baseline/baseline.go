@@ -1,0 +1,143 @@
+// Package baseline implements comparison category→cluster assigners.
+//
+// The paper argues (§2) that DHT-based systems address load balancing
+// "in a rather naive way simply by resorting to the uniformity of the hash
+// function utilized". HashAssign reproduces that policy; Random,
+// RoundRobin, and LPT are the standard partitioning strawmen a load
+// balancer must beat.
+package baseline
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/core"
+	"p2pshare/internal/model"
+)
+
+// run assigns each category per pick and evaluates the result with the
+// same ICLB state machinery MaxFair uses, so fairness numbers are directly
+// comparable.
+func run(inst *model.Instance, pick func(cat catalog.CategoryID) model.ClusterID) (*core.Result, error) {
+	st, err := core.NewState(inst)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < st.NumCategories(); c++ {
+		if err := st.Assign(catalog.CategoryID(c), pick(catalog.CategoryID(c))); err != nil {
+			return nil, err
+		}
+	}
+	return &core.Result{
+		Assignment:             st.Assignment(),
+		Fairness:               st.Fairness(),
+		NormalizedPopularities: st.NormalizedPopularities(),
+		State:                  st,
+	}, nil
+}
+
+// HashAssign maps each category to cluster SHA1(category id) mod |C| —
+// the uniform-hash placement of DHT overlays (Chord/CAN/Pastry/Tapestry).
+func HashAssign(inst *model.Instance) (*core.Result, error) {
+	n := inst.NumClusters
+	return run(inst, func(cat catalog.CategoryID) model.ClusterID {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(cat))
+		sum := sha1.Sum(buf[:])
+		return model.ClusterID(binary.BigEndian.Uint32(sum[:4]) % uint32(n))
+	})
+}
+
+// RandomAssign places each category on a uniformly random cluster.
+func RandomAssign(inst *model.Instance, rng *rand.Rand) (*core.Result, error) {
+	n := inst.NumClusters
+	return run(inst, func(catalog.CategoryID) model.ClusterID {
+		return model.ClusterID(rng.Intn(n))
+	})
+}
+
+// RoundRobinAssign deals categories to clusters in id order.
+func RoundRobinAssign(inst *model.Instance) (*core.Result, error) {
+	n := inst.NumClusters
+	return run(inst, func(cat catalog.CategoryID) model.ClusterID {
+		return model.ClusterID(int(cat) % n)
+	})
+}
+
+// LPTAssign is the classic longest-processing-time-first heuristic for
+// makespan minimization, adapted to ICLB: categories in descending
+// popularity order, each placed on the cluster with the lowest current
+// normalized popularity. It differs from MaxFair in its objective (min
+// load, not max fairness index).
+func LPTAssign(inst *model.Instance) (*core.Result, error) {
+	st, err := core.NewState(inst)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]catalog.CategoryID, st.NumCategories())
+	for i := range order {
+		order[i] = catalog.CategoryID(i)
+	}
+	// Descending popularity, stable on ties for determinism.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && st.CategoryPopularity(order[j]) > st.CategoryPopularity(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, cat := range order {
+		xs := st.NormalizedPopularities()
+		best := 0
+		for c := 1; c < len(xs); c++ {
+			if xs[c] < xs[best] {
+				best = c
+			}
+		}
+		if err := st.Assign(cat, model.ClusterID(best)); err != nil {
+			return nil, err
+		}
+	}
+	return &core.Result{
+		Assignment:             st.Assignment(),
+		Fairness:               st.Fairness(),
+		NormalizedPopularities: st.NormalizedPopularities(),
+		State:                  st,
+	}, nil
+}
+
+// Name identifies a baseline for reports.
+type Name string
+
+// Baseline assigner names as used in experiment reports.
+const (
+	NameMaxFair    Name = "maxfair"
+	NameHash       Name = "hash"
+	NameRandom     Name = "random"
+	NameRoundRobin Name = "round-robin"
+	NameLPT        Name = "lpt"
+)
+
+// Run dispatches a baseline by name; rng is only used by NameRandom.
+// NameMaxFair runs core.MaxFair with default options so comparisons share
+// one entry point.
+func Run(name Name, inst *model.Instance, rng *rand.Rand) (*core.Result, error) {
+	switch name {
+	case NameMaxFair:
+		return core.MaxFair(inst, core.Options{})
+	case NameHash:
+		return HashAssign(inst)
+	case NameRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("baseline: %q requires an rng", name)
+		}
+		return RandomAssign(inst, rng)
+	case NameRoundRobin:
+		return RoundRobinAssign(inst)
+	case NameLPT:
+		return LPTAssign(inst)
+	default:
+		return nil, fmt.Errorf("baseline: unknown assigner %q", name)
+	}
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pshare/internal/model"
+)
+
+func testInstance(t testing.TB) *model.Instance {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 3000
+	cfg.Catalog.NumCats = 60
+	cfg.NumNodes = 300
+	cfg.NumClusters = 12
+	cfg.Seed = 100
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func assertComplete(t *testing.T, inst *model.Instance, assign []model.ClusterID) {
+	t.Helper()
+	if len(assign) != inst.CatCount() {
+		t.Fatalf("assignment covers %d of %d categories", len(assign), inst.CatCount())
+	}
+	for c, cl := range assign {
+		if cl == model.NoCluster || int(cl) >= inst.NumClusters {
+			t.Fatalf("category %d on cluster %d", c, cl)
+		}
+	}
+}
+
+func TestHashAssign(t *testing.T) {
+	inst := testInstance(t)
+	res, err := HashAssign(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, inst, res.Assignment)
+	// Hash placement is deterministic.
+	res2, _ := HashAssign(inst)
+	for c := range res.Assignment {
+		if res.Assignment[c] != res2.Assignment[c] {
+			t.Fatal("hash assignment not deterministic")
+		}
+	}
+}
+
+func TestRandomAssign(t *testing.T) {
+	inst := testInstance(t)
+	res, err := RandomAssign(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, inst, res.Assignment)
+}
+
+func TestRoundRobinAssign(t *testing.T) {
+	inst := testInstance(t)
+	res, err := RoundRobinAssign(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, inst, res.Assignment)
+	for c, cl := range res.Assignment {
+		if int(cl) != c%inst.NumClusters {
+			t.Fatalf("round robin put category %d on %d", c, cl)
+		}
+	}
+}
+
+func TestLPTAssign(t *testing.T) {
+	inst := testInstance(t)
+	res, err := LPTAssign(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, inst, res.Assignment)
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Errorf("LPT fairness %g out of range", res.Fairness)
+	}
+}
+
+func TestMaxFairBeatsNaiveBaselines(t *testing.T) {
+	// The paper's core claim vs DHT-style systems (§2): hash-uniform
+	// placement balances load naively; MaxFair does strictly better on
+	// skewed category popularities.
+	inst := testInstance(t)
+	rng := rand.New(rand.NewSource(2))
+	mf, err := Run(NameMaxFair, inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []Name{NameHash, NameRandom, NameRoundRobin} {
+		res, err := Run(name, inst, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fairness >= mf.Fairness {
+			t.Errorf("%s fairness %g >= MaxFair %g", name, res.Fairness, mf.Fairness)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	inst := testInstance(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range []Name{NameMaxFair, NameHash, NameRandom, NameRoundRobin, NameLPT} {
+		res, err := Run(name, inst, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertComplete(t, inst, res.Assignment)
+	}
+	if _, err := Run("bogus", inst, rng); err == nil {
+		t.Error("unknown baseline should fail")
+	}
+	if _, err := Run(NameRandom, inst, nil); err == nil {
+		t.Error("random without rng should fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Package cache implements the document caching the paper leaves as
+// future work (§7 viii: "cache placement and replacement algorithms that
+// can complement our architecture").
+//
+// The cache sits at the requesting node: documents fetched by earlier
+// queries are kept (LRU or LFU over a byte budget) and served locally,
+// turning repeat requests for popular content into zero-hop answers.
+// Because document popularity is Zipf, even a small cache absorbs a large
+// request share — the experiment in internal/experiments quantifies it.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"p2pshare/internal/catalog"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+const (
+	// LRU evicts the least recently used document.
+	LRU Policy = iota
+	// LFU evicts the least frequently used document (ties: least
+	// recently used).
+	LFU
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// entry is one cached document.
+type entry struct {
+	id   catalog.DocID
+	size int64
+	uses int64
+	elem *list.Element
+}
+
+// Cache is a byte-budgeted document cache. Not safe for concurrent use;
+// each peer owns one.
+type Cache struct {
+	policy   Policy
+	capacity int64
+	used     int64
+	entries  map[catalog.DocID]*entry
+	// order is recency order for LRU (front = most recent); for LFU it
+	// is only used to break frequency ties by recency.
+	order *list.List
+
+	hits, misses int64
+}
+
+// New creates a cache with the given byte capacity. Capacity 0 disables
+// caching (every lookup misses, every insert is ignored).
+func New(policy Policy, capacity int64) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if policy != LRU && policy != LFU {
+		return nil, fmt.Errorf("cache: unknown policy %d", policy)
+	}
+	return &Cache{
+		policy:   policy,
+		capacity: capacity,
+		entries:  make(map[catalog.DocID]*entry),
+		order:    list.New(),
+	}, nil
+}
+
+// Contains looks a document up, updating recency/frequency and hit
+// statistics.
+func (c *Cache) Contains(d catalog.DocID) bool {
+	e, ok := c.entries[d]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	e.uses++
+	c.order.MoveToFront(e.elem)
+	return true
+}
+
+// Peek reports presence without touching statistics or ordering.
+func (c *Cache) Peek(d catalog.DocID) bool {
+	_, ok := c.entries[d]
+	return ok
+}
+
+// Insert adds a document of the given size, evicting per policy until it
+// fits. Documents larger than the whole capacity are not cached. Inserting
+// a present document only refreshes its recency.
+func (c *Cache) Insert(d catalog.DocID, size int64) {
+	if size <= 0 || size > c.capacity {
+		return
+	}
+	if e, ok := c.entries[d]; ok {
+		e.uses++
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	for c.used+size > c.capacity {
+		c.evict()
+	}
+	e := &entry{id: d, size: size, uses: 1}
+	e.elem = c.order.PushFront(e)
+	c.entries[d] = e
+	c.used += size
+}
+
+// evict removes one document per policy.
+func (c *Cache) evict() {
+	if c.order.Len() == 0 {
+		return
+	}
+	var victim *entry
+	switch c.policy {
+	case LRU:
+		victim = c.order.Back().Value.(*entry)
+	case LFU:
+		// Scan for the lowest use count; walk back-to-front so recency
+		// breaks ties toward the least recently used.
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if victim == nil || e.uses < victim.uses {
+				victim = e
+			}
+		}
+	}
+	c.order.Remove(victim.elem)
+	delete(c.entries, victim.id)
+	c.used -= victim.size
+}
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// UsedBytes returns the cached byte total.
+func (c *Cache) UsedBytes() int64 { return c.used }
+
+// HitRatio returns hits/(hits+misses), 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Stats returns raw hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/zipf"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(LRU, -1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := New(Policy(9), 100); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c, _ := New(LRU, 100)
+	if c.Contains(1) {
+		t.Error("empty cache hit")
+	}
+	c.Insert(1, 10)
+	if !c.Contains(1) {
+		t.Error("inserted doc missing")
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", h, m)
+	}
+	if c.HitRatio() != 0.5 {
+		t.Errorf("hit ratio %g, want 0.5", c.HitRatio())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(LRU, 30)
+	c.Insert(1, 10)
+	c.Insert(2, 10)
+	c.Insert(3, 10)
+	// Touch 1 so 2 becomes the LRU victim.
+	c.Contains(1)
+	c.Insert(4, 10)
+	if c.Peek(2) {
+		t.Error("LRU victim 2 not evicted")
+	}
+	for _, d := range []catalog.DocID{1, 3, 4} {
+		if !c.Peek(d) {
+			t.Errorf("doc %d should be cached", d)
+		}
+	}
+}
+
+func TestLFUEviction(t *testing.T) {
+	c, _ := New(LFU, 30)
+	c.Insert(1, 10)
+	c.Insert(2, 10)
+	c.Insert(3, 10)
+	// Make 1 and 3 popular; 2 stays at one use.
+	c.Contains(1)
+	c.Contains(1)
+	c.Contains(3)
+	c.Insert(4, 10)
+	if c.Peek(2) {
+		t.Error("LFU victim 2 not evicted")
+	}
+	if !c.Peek(1) || !c.Peek(3) || !c.Peek(4) {
+		t.Error("frequently used docs evicted")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	c, _ := New(LRU, 100)
+	for d := 0; d < 50; d++ {
+		c.Insert(catalog.DocID(d), 9)
+	}
+	if c.UsedBytes() > 100 {
+		t.Errorf("used %d > capacity 100", c.UsedBytes())
+	}
+	if c.Len() > 11 {
+		t.Errorf("len %d too large", c.Len())
+	}
+}
+
+func TestOversizeAndZeroCapacity(t *testing.T) {
+	c, _ := New(LRU, 100)
+	c.Insert(1, 200) // bigger than capacity: ignored
+	if c.Peek(1) {
+		t.Error("oversize doc cached")
+	}
+	z, _ := New(LRU, 0)
+	z.Insert(1, 1)
+	if z.Peek(1) || z.Contains(1) {
+		t.Error("zero-capacity cache stored something")
+	}
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	c, _ := New(LRU, 20)
+	c.Insert(1, 10)
+	c.Insert(2, 10)
+	c.Insert(1, 10) // refresh recency of 1; must not double-count bytes
+	if c.UsedBytes() != 20 {
+		t.Errorf("used %d, want 20", c.UsedBytes())
+	}
+	c.Insert(3, 10) // evicts 2 (LRU), not 1
+	if c.Peek(2) || !c.Peek(1) {
+		t.Error("refresh did not update recency")
+	}
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(50 + rng.Intn(200))
+		c, err := New(Policy(rng.Intn(2)), capacity)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			d := catalog.DocID(rng.Intn(60))
+			if rng.Intn(2) == 0 {
+				c.Contains(d)
+			} else {
+				c.Insert(d, int64(1+rng.Intn(40)))
+			}
+			if c.UsedBytes() > capacity || c.UsedBytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWorkloadHitRatio(t *testing.T) {
+	// The §7(viii) rationale: under Zipf demand a cache holding ~5% of
+	// the corpus absorbs a large share of requests.
+	const nDocs = 2000
+	pops := zipf.Popularities(nDocs, 0.8)
+	sampler := zipf.NewSampler(pops)
+	rng := rand.New(rand.NewSource(42))
+	c, _ := New(LRU, 100) // 100 unit-size docs = 5% of corpus
+	for i := 0; i < 50000; i++ {
+		d := catalog.DocID(sampler.Sample(rng))
+		if !c.Contains(d) {
+			c.Insert(d, 1)
+		}
+	}
+	if r := c.HitRatio(); r < 0.25 {
+		t.Errorf("Zipf hit ratio %g < 0.25 with a 5%% cache", r)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" || Policy(7).String() != "Policy(7)" {
+		t.Error("policy strings wrong")
+	}
+}

@@ -1,0 +1,409 @@
+// Package catalog models the shared content of the system: documents,
+// document categories (the paper's "semantic categories"), and their
+// popularity accounting.
+//
+// Every document has a popularity p(d) ∈ [0,1], the probability a user
+// request targets it. A category's popularity is the sum of its documents'
+// popularities; a document belonging to several categories splits its
+// popularity evenly among them (paper §4.1).
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2pshare/internal/zipf"
+)
+
+// DocID identifies a document.
+type DocID int32
+
+// CategoryID identifies a document category.
+type CategoryID int32
+
+// NoCategory marks an unset category reference.
+const NoCategory CategoryID = -1
+
+// Document is one sharable content item.
+type Document struct {
+	ID DocID
+	// Categories the document belongs to; usually one. Popularity is
+	// split evenly across them.
+	Categories []CategoryID
+	// Popularity is p(d), the probability a request targets this document.
+	Popularity float64
+	// Size in bytes (the paper's examples use 4 MB MP3 files).
+	Size int64
+}
+
+// Category is a group of documents (e.g. a semantic category such as
+// "Heavy Metal" in the paper's Figure 1).
+type Category struct {
+	ID   CategoryID
+	Name string
+	// Docs holds the documents mapped to this category.
+	Docs []DocID
+	// Popularity is p(s) = Σ p(d)/|categories(d)| over its documents.
+	Popularity float64
+	// Keywords characterize the category's semantic content; the
+	// classifier maps query keywords onto categories through them.
+	Keywords []string
+}
+
+// Catalog is the full content inventory.
+type Catalog struct {
+	Docs []Document
+	Cats []Category
+}
+
+// Config controls synthetic catalog generation.
+type Config struct {
+	NumDocs int
+	NumCats int
+	// ThetaDocs is the Zipf parameter of document popularity by rank
+	// (paper: 0.8).
+	ThetaDocs float64
+	// CatAssign picks how documents map to categories.
+	CatAssign CatAssignMode
+	// ThetaCats is the Zipf parameter for category popularity under
+	// AssignZipf (paper: 0.7).
+	ThetaCats float64
+	// DocSize is the size of every document in bytes. Zero means the
+	// paper's 4 MB MP3 default.
+	DocSize int64
+	// MultiCatFraction is the fraction of documents assigned to two
+	// categories instead of one (popularity split evenly). Zero by
+	// default, matching the paper's simplifying assumption.
+	MultiCatFraction float64
+}
+
+// CatAssignMode selects the document→category assignment policy.
+type CatAssignMode int
+
+const (
+	// AssignZipf samples each document's category from a Zipf pmf over
+	// categories — the paper's first, "worst case" scenario (§4.4): the
+	// resulting category popularities are Zipf-like with spikes.
+	AssignZipf CatAssignMode = iota
+	// AssignUniform samples categories uniformly — the paper's second
+	// scenario, yielding near-uniform category popularities.
+	AssignUniform
+)
+
+// DefaultDocSize is the paper's running example: a 3-minute MP3.
+const DefaultDocSize = 4 << 20
+
+func (m CatAssignMode) String() string {
+	switch m {
+	case AssignZipf:
+		return "zipf"
+	case AssignUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("CatAssignMode(%d)", int(m))
+	}
+}
+
+// Generate builds a synthetic catalog: NumDocs documents with ranked-Zipf
+// popularities (document i has popularity rank i), each assigned to
+// categories per cfg. Category popularities are accumulated from their
+// documents. All randomness comes from rng.
+func Generate(cfg Config, rng *rand.Rand) (*Catalog, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("catalog: NumDocs must be positive, got %d", cfg.NumDocs)
+	}
+	if cfg.NumCats <= 0 {
+		return nil, fmt.Errorf("catalog: NumCats must be positive, got %d", cfg.NumCats)
+	}
+	if cfg.MultiCatFraction < 0 || cfg.MultiCatFraction > 1 {
+		return nil, fmt.Errorf("catalog: MultiCatFraction %g out of [0,1]", cfg.MultiCatFraction)
+	}
+	size := cfg.DocSize
+	if size == 0 {
+		size = DefaultDocSize
+	}
+
+	c := &Catalog{
+		Docs: make([]Document, cfg.NumDocs),
+		Cats: make([]Category, cfg.NumCats),
+	}
+	for i := range c.Cats {
+		c.Cats[i] = Category{
+			ID:       CategoryID(i),
+			Name:     fmt.Sprintf("category-%04d", i),
+			Keywords: categoryKeywords(i),
+		}
+	}
+
+	docPop := zipf.Popularities(cfg.NumDocs, cfg.ThetaDocs)
+
+	var catSampler *zipf.Sampler
+	switch cfg.CatAssign {
+	case AssignZipf:
+		catSampler = zipf.NewSampler(zipf.Popularities(cfg.NumCats, cfg.ThetaCats))
+	case AssignUniform:
+		catSampler = zipf.NewSampler(zipf.Uniform(cfg.NumCats))
+	default:
+		return nil, fmt.Errorf("catalog: unknown CatAssign mode %d", cfg.CatAssign)
+	}
+
+	for i := range c.Docs {
+		d := &c.Docs[i]
+		d.ID = DocID(i)
+		d.Popularity = docPop[i]
+		d.Size = size
+		d.Categories = []CategoryID{CategoryID(catSampler.Sample(rng))}
+		if cfg.MultiCatFraction > 0 && rng.Float64() < cfg.MultiCatFraction {
+			second := CategoryID(catSampler.Sample(rng))
+			if second != d.Categories[0] {
+				d.Categories = append(d.Categories, second)
+			}
+		}
+		share := d.Popularity / float64(len(d.Categories))
+		for _, cid := range d.Categories {
+			cat := &c.Cats[cid]
+			cat.Docs = append(cat.Docs, d.ID)
+			cat.Popularity += share
+		}
+	}
+	return c, nil
+}
+
+// categoryKeywords derives a small deterministic keyword vocabulary for a
+// category; the classifier package matches query keywords against these.
+func categoryKeywords(i int) []string {
+	return []string{
+		fmt.Sprintf("kw%d", i),
+		fmt.Sprintf("topic%d", i),
+		fmt.Sprintf("genre%d", i/10),
+	}
+}
+
+// Doc returns the document with the given id, or nil if out of range.
+func (c *Catalog) Doc(id DocID) *Document {
+	if id < 0 || int(id) >= len(c.Docs) {
+		return nil
+	}
+	return &c.Docs[id]
+}
+
+// Cat returns the category with the given id, or nil if out of range.
+func (c *Catalog) Cat(id CategoryID) *Category {
+	if id < 0 || int(id) >= len(c.Cats) {
+		return nil
+	}
+	return &c.Cats[id]
+}
+
+// CategoryPopularities returns p(s) for every category, indexed by id.
+func (c *Catalog) CategoryPopularities() []float64 {
+	out := make([]float64, len(c.Cats))
+	for i := range c.Cats {
+		out[i] = c.Cats[i].Popularity
+	}
+	return out
+}
+
+// TotalPopularity returns the summed popularity of all documents. For a
+// freshly generated catalog this is 1; perturbations (AddDocuments) keep
+// it normalized.
+func (c *Catalog) TotalPopularity() float64 {
+	var sum float64
+	for i := range c.Docs {
+		sum += c.Docs[i].Popularity
+	}
+	return sum
+}
+
+// PopularityShare returns the slice of a document's popularity attributed
+// to one of its categories (even split across its categories).
+func (d *Document) PopularityShare() float64 {
+	return d.Popularity / float64(len(d.Categories))
+}
+
+// AddDocuments models the paper's robustness stress test (§5): n new
+// documents join carrying a combined popularity of mass (e.g. 0.30),
+// becoming the most popular documents in the system. Existing document
+// popularities are scaled by (1-mass) so the total stays normalized; the
+// new documents share mass among themselves by ranked Zipf (thetaNew) and
+// are assigned to uniformly random existing categories. It returns the ids
+// of the new documents.
+func (c *Catalog) AddDocuments(n int, mass, thetaNew float64, rng *rand.Rand) ([]DocID, error) {
+	return c.AddDocumentsIn(n, mass, thetaNew, nil, rng)
+}
+
+// AddDocumentsIn is AddDocuments with the new documents restricted to the
+// given target categories (nil means all categories). Concentrating the
+// new mass in few categories models a flash crowd that hits a handful of
+// topics rather than the whole catalog.
+func (c *Catalog) AddDocumentsIn(n int, mass, thetaNew float64, cats []CategoryID, rng *rand.Rand) ([]DocID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: AddDocuments n must be positive, got %d", n)
+	}
+	if mass <= 0 || mass >= 1 {
+		return nil, fmt.Errorf("catalog: AddDocuments mass %g out of (0,1)", mass)
+	}
+	if len(c.Cats) == 0 {
+		return nil, fmt.Errorf("catalog: AddDocuments needs at least one category")
+	}
+	for _, cid := range cats {
+		if c.Cat(cid) == nil {
+			return nil, fmt.Errorf("catalog: AddDocuments unknown target category %d", cid)
+		}
+	}
+	// Scale down the incumbents.
+	scale := 1 - mass
+	for i := range c.Docs {
+		c.Docs[i].Popularity *= scale
+	}
+	for i := range c.Cats {
+		c.Cats[i].Popularity *= scale
+	}
+	newPop := zipf.Popularities(n, thetaNew)
+	ids := make([]DocID, n)
+	size := int64(DefaultDocSize)
+	if len(c.Docs) > 0 {
+		size = c.Docs[0].Size
+	}
+	for i := 0; i < n; i++ {
+		id := DocID(len(c.Docs))
+		var cat CategoryID
+		if len(cats) > 0 {
+			cat = cats[rng.Intn(len(cats))]
+		} else {
+			cat = CategoryID(rng.Intn(len(c.Cats)))
+		}
+		pop := newPop[i] * mass
+		c.Docs = append(c.Docs, Document{
+			ID:         id,
+			Categories: []CategoryID{cat},
+			Popularity: pop,
+			Size:       size,
+		})
+		c.Cats[cat].Docs = append(c.Cats[cat].Docs, id)
+		c.Cats[cat].Popularity += pop
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// ShiftPopularity re-ranks document popularities in place: a fraction of
+// documents chosen at random receive the top popularity ranks under a fresh
+// ranked Zipf with the given theta, modelling content popularity drift
+// (§6.1). Category popularities are recomputed.
+func (c *Catalog) ShiftPopularity(theta float64, rng *rand.Rand) {
+	perm := rng.Perm(len(c.Docs))
+	pops := zipf.Popularities(len(c.Docs), theta)
+	for rank, di := range perm {
+		c.Docs[di].Popularity = pops[rank]
+	}
+	c.RecomputeCategoryPopularities()
+}
+
+// SplitCategory refines the document grouping (§7 vi): half of the
+// category's single-category documents (alternating by list position, so
+// popular and unpopular docs split evenly) move into a fresh category.
+// Because category↔cluster assignment is the balancing granularity, a
+// category too popular for any single cluster can be split until the
+// pieces are placeable — the granularity answer the paper leaves open.
+// Multi-category documents stay put (their popularity split already
+// spreads them). It returns the new category's id.
+func (c *Catalog) SplitCategory(cat CategoryID) (CategoryID, error) {
+	src := c.Cat(cat)
+	if src == nil {
+		return 0, fmt.Errorf("catalog: unknown category %d", cat)
+	}
+	var movable []DocID
+	for _, di := range src.Docs {
+		if len(c.Docs[di].Categories) == 1 {
+			movable = append(movable, di)
+		}
+	}
+	if len(movable) < 2 {
+		return 0, fmt.Errorf("catalog: category %d has %d movable docs, need 2", cat, len(movable))
+	}
+	newID := CategoryID(len(c.Cats))
+	c.Cats = append(c.Cats, Category{
+		ID:       newID,
+		Name:     fmt.Sprintf("%s/split-%d", src.Name, newID),
+		Keywords: append(append([]string(nil), src.Keywords...), fmt.Sprintf("kw%d", newID)),
+	})
+	src = c.Cat(cat) // re-fetch: the append may have moved the backing array
+	dst := c.Cat(newID)
+	move := make(map[DocID]bool, len(movable)/2)
+	for i, di := range movable {
+		if i%2 == 1 {
+			move[di] = true
+		}
+	}
+	kept := src.Docs[:0]
+	for _, di := range src.Docs {
+		if !move[di] {
+			kept = append(kept, di)
+			continue
+		}
+		d := &c.Docs[di]
+		d.Categories[0] = newID
+		dst.Docs = append(dst.Docs, di)
+		src.Popularity -= d.Popularity
+		dst.Popularity += d.Popularity
+	}
+	src.Docs = kept
+	if src.Popularity < 0 {
+		src.Popularity = 0
+	}
+	return newID, nil
+}
+
+// ShiftCategoryPopularity re-ranks popularity at the category level
+// (§6.1: "the popularity of the stored content varies with time"): a
+// random permutation of categories receives fresh ranked-Zipf(theta)
+// popularity targets, and each category's member documents are scaled
+// proportionally to hit its target. Unlike ShiftPopularity (document-level
+// re-ranking, which large categories average away), this moves demand
+// *between* categories and therefore between clusters.
+func (c *Catalog) ShiftCategoryPopularity(theta float64, rng *rand.Rand) {
+	if len(c.Cats) == 0 {
+		return
+	}
+	targets := zipf.Popularities(len(c.Cats), theta)
+	perm := rng.Perm(len(c.Cats))
+	// Scale each category's docs by target/current. Empty or zero-pop
+	// categories keep their (zero) mass; renormalize at the end so the
+	// total stays 1.
+	for rank, ci := range perm {
+		cat := &c.Cats[ci]
+		if cat.Popularity <= 0 {
+			continue
+		}
+		scale := targets[rank] / cat.Popularity
+		for _, di := range cat.Docs {
+			d := &c.Docs[di]
+			// Multi-category documents scale by their share in this
+			// category only; single-category documents scale fully.
+			d.Popularity *= 1 + (scale-1)/float64(len(d.Categories))
+		}
+	}
+	total := c.TotalPopularity()
+	if total > 0 {
+		for i := range c.Docs {
+			c.Docs[i].Popularity /= total
+		}
+	}
+	c.RecomputeCategoryPopularities()
+}
+
+// RecomputeCategoryPopularities rebuilds every category's popularity from
+// its member documents.
+func (c *Catalog) RecomputeCategoryPopularities() {
+	for i := range c.Cats {
+		c.Cats[i].Popularity = 0
+	}
+	for i := range c.Docs {
+		d := &c.Docs[i]
+		share := d.PopularityShare()
+		for _, cid := range d.Categories {
+			c.Cats[cid].Popularity += share
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genCfg() Config {
+	return Config{
+		NumDocs:   5000,
+		NumCats:   100,
+		ThetaDocs: 0.8,
+		ThetaCats: 0.7,
+		CatAssign: AssignZipf,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 5000 || len(c.Cats) != 100 {
+		t.Fatalf("got %d docs, %d cats", len(c.Docs), len(c.Cats))
+	}
+	for i := range c.Docs {
+		d := &c.Docs[i]
+		if d.ID != DocID(i) {
+			t.Fatalf("doc %d has id %d", i, d.ID)
+		}
+		if len(d.Categories) != 1 {
+			t.Fatalf("doc %d has %d categories, want 1", i, len(d.Categories))
+		}
+		if d.Popularity <= 0 {
+			t.Fatalf("doc %d has popularity %g", i, d.Popularity)
+		}
+		if d.Size != DefaultDocSize {
+			t.Fatalf("doc %d has size %d, want default", i, d.Size)
+		}
+	}
+}
+
+func TestGenerateTotalPopularityIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total doc popularity = %g, want 1", tp)
+	}
+	var catSum float64
+	for i := range c.Cats {
+		catSum += c.Cats[i].Popularity
+	}
+	if math.Abs(catSum-1) > 1e-9 {
+		t.Errorf("total category popularity = %g, want 1", catSum)
+	}
+}
+
+func TestGenerateCategoryConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every document appears in exactly the categories it lists, and
+	// category popularity equals the sum of member shares.
+	for i := range c.Cats {
+		cat := &c.Cats[i]
+		var sum float64
+		for _, di := range cat.Docs {
+			d := c.Doc(di)
+			found := false
+			for _, cid := range d.Categories {
+				if cid == cat.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("doc %d in category %d's list but doesn't reference it", di, cat.ID)
+			}
+			sum += d.PopularityShare()
+		}
+		if math.Abs(sum-cat.Popularity) > 1e-9 {
+			t.Fatalf("category %d popularity %g != member sum %g", cat.ID, cat.Popularity, sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(genCfg(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(genCfg(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Categories[0] != b.Docs[i].Categories[0] {
+			t.Fatal("same seed produced different catalogs")
+		}
+	}
+}
+
+func TestGenerateZipfAssignIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	zc, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := genCfg()
+	ucfg.CatAssign = AssignUniform
+	uc, err := Generate(ucfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCat := func(c *Catalog) float64 {
+		m := 0.0
+		for i := range c.Cats {
+			if c.Cats[i].Popularity > m {
+				m = c.Cats[i].Popularity
+			}
+		}
+		return m
+	}
+	if maxCat(zc) <= maxCat(uc) {
+		t.Errorf("zipf assignment should concentrate more popularity: zipf max %g <= uniform max %g",
+			maxCat(zc), maxCat(uc))
+	}
+}
+
+func TestGenerateMultiCategory(t *testing.T) {
+	cfg := genCfg()
+	cfg.MultiCatFraction = 0.5
+	rng := rand.New(rand.NewSource(5))
+	c, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for i := range c.Docs {
+		if len(c.Docs[i].Categories) == 2 {
+			multi++
+			// Split evenly: share is half the popularity.
+			d := &c.Docs[i]
+			if math.Abs(d.PopularityShare()-d.Popularity/2) > 1e-15 {
+				t.Fatal("multi-category share not halved")
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-category documents generated at fraction 0.5")
+	}
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total popularity with multi-cat = %g, want 1", tp)
+	}
+	var catSum float64
+	for i := range c.Cats {
+		catSum += c.Cats[i].Popularity
+	}
+	if math.Abs(catSum-1) > 1e-9 {
+		t.Errorf("category popularity sum with multi-cat = %g, want 1", catSum)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{NumDocs: 0, NumCats: 5},
+		{NumDocs: 5, NumCats: 0},
+		{NumDocs: 5, NumCats: 5, MultiCatFraction: 1.5},
+		{NumDocs: 5, NumCats: 5, CatAssign: CatAssignMode(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, rng); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestDocCatAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := Generate(Config{NumDocs: 10, NumCats: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Doc(5) == nil || c.Doc(-1) != nil || c.Doc(10) != nil {
+		t.Error("Doc bounds checks failed")
+	}
+	if c.Cat(2) == nil || c.Cat(-1) != nil || c.Cat(3) != nil {
+		t.Error("Cat bounds checks failed")
+	}
+	pops := c.CategoryPopularities()
+	if len(pops) != 3 {
+		t.Fatalf("CategoryPopularities len = %d", len(pops))
+	}
+}
+
+func TestAddDocuments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBefore := len(c.Docs)
+	ids, err := c.AddDocuments(nBefore/20, 0.30, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != nBefore/20 {
+		t.Fatalf("added %d docs, want %d", len(ids), nBefore/20)
+	}
+	// Total popularity stays normalized.
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total popularity after AddDocuments = %g, want 1", tp)
+	}
+	// New docs hold exactly the requested mass.
+	var newMass float64
+	for _, id := range ids {
+		newMass += c.Doc(id).Popularity
+	}
+	if math.Abs(newMass-0.30) > 1e-9 {
+		t.Errorf("new docs hold %g mass, want 0.30", newMass)
+	}
+	// The new documents are "the new most popular documents" (paper §5):
+	// 30% of the mass over 5% of the docs means their average popularity
+	// dwarfs the old average (0.30/250 vs 0.70/5000 ≈ 8.6×).
+	oldAvg := (1 - newMass) / float64(nBefore)
+	newAvg := newMass / float64(len(ids))
+	if newAvg < 5*oldAvg {
+		t.Errorf("new docs avg popularity %g not ≫ old avg %g", newAvg, oldAvg)
+	}
+	// Category popularities remain consistent.
+	var catSum float64
+	for i := range c.Cats {
+		catSum += c.Cats[i].Popularity
+	}
+	if math.Abs(catSum-1) > 1e-9 {
+		t.Errorf("category popularity sum after AddDocuments = %g", catSum)
+	}
+}
+
+func TestAddDocumentsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, _ := Generate(Config{NumDocs: 10, NumCats: 2}, rng)
+	if _, err := c.AddDocuments(0, 0.3, 0.8, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := c.AddDocuments(1, 0, 0.8, rng); err == nil {
+		t.Error("mass=0 should fail")
+	}
+	if _, err := c.AddDocuments(1, 1, 0.8, rng); err == nil {
+		t.Error("mass=1 should fail")
+	}
+}
+
+func TestShiftPopularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.CategoryPopularities()
+	c.ShiftPopularity(0.8, rng)
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total popularity after shift = %g, want 1", tp)
+	}
+	after := c.CategoryPopularities()
+	changed := false
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-12 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("shift did not change any category popularity")
+	}
+}
+
+func TestShiftCategoryPopularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.CategoryPopularities()
+	c.ShiftCategoryPopularity(0.8, rng)
+	after := c.CategoryPopularities()
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total popularity after category shift = %g, want 1", tp)
+	}
+	// The ranking must genuinely change: correlate before/after ranks.
+	changed := 0
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			changed++
+		}
+	}
+	if changed < len(before)/2 {
+		t.Errorf("only %d of %d category popularities changed", changed, len(before))
+	}
+	// Document popularities stay non-negative.
+	for i := range c.Docs {
+		if c.Docs[i].Popularity < 0 {
+			t.Fatalf("doc %d has negative popularity after shift", i)
+		}
+	}
+}
+
+func TestAddDocumentsIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []CategoryID{3, 7, 11}
+	ids, err := c.AddDocumentsIn(50, 0.2, 0.8, targets, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[CategoryID]bool{3: true, 7: true, 11: true}
+	for _, id := range ids {
+		if !allowed[c.Doc(id).Categories[0]] {
+			t.Fatalf("doc %d landed in category %d, outside targets", id, c.Doc(id).Categories[0])
+		}
+	}
+	if tp := c.TotalPopularity(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("total popularity = %g", tp)
+	}
+	if _, err := c.AddDocumentsIn(1, 0.1, 0.8, []CategoryID{999}, rng); err == nil {
+		t.Error("unknown target category should fail")
+	}
+}
+
+func TestSplitCategory(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the largest category.
+	src := CategoryID(0)
+	for i := range c.Cats {
+		if c.Cats[i].Popularity > c.Cats[src].Popularity {
+			src = CategoryID(i)
+		}
+	}
+	beforeDocs := len(c.Cats[src].Docs)
+	beforePop := c.Cats[src].Popularity
+	newID, err := c.SplitCategory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(newID) != len(c.Cats)-1 {
+		t.Fatalf("new id %d, want last", newID)
+	}
+	srcCat, dstCat := c.Cat(src), c.Cat(newID)
+	if len(srcCat.Docs)+len(dstCat.Docs) != beforeDocs {
+		t.Errorf("docs: %d + %d != %d", len(srcCat.Docs), len(dstCat.Docs), beforeDocs)
+	}
+	if math.Abs(srcCat.Popularity+dstCat.Popularity-beforePop) > 1e-9 {
+		t.Errorf("popularity not conserved: %g + %g != %g",
+			srcCat.Popularity, dstCat.Popularity, beforePop)
+	}
+	// Roughly even split (alternating docs).
+	if dstCat.Popularity < beforePop*0.2 || dstCat.Popularity > beforePop*0.8 {
+		t.Errorf("lopsided split: %g of %g moved", dstCat.Popularity, beforePop)
+	}
+	// Every moved doc references the new category, every kept doc the old.
+	for _, di := range dstCat.Docs {
+		if c.Doc(di).Categories[0] != newID {
+			t.Fatalf("moved doc %d still references %d", di, c.Doc(di).Categories[0])
+		}
+	}
+	for _, di := range srcCat.Docs {
+		if c.Doc(di).Categories[0] != src {
+			t.Fatalf("kept doc %d references %d", di, c.Doc(di).Categories[0])
+		}
+	}
+	// Recompute agrees with incremental bookkeeping.
+	a := c.CategoryPopularities()
+	c.RecomputeCategoryPopularities()
+	b := c.CategoryPopularities()
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("category %d popularity drifted: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSplitCategoryErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c, err := Generate(Config{NumDocs: 10, NumCats: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SplitCategory(CategoryID(99)); err == nil {
+		t.Error("unknown category should fail")
+	}
+	// Find (or make) a category with fewer than 2 docs.
+	for i := range c.Cats {
+		if len(c.Cats[i].Docs) < 2 {
+			if _, err := c.SplitCategory(CategoryID(i)); err == nil {
+				t.Error("splitting a <2-doc category should fail")
+			}
+			return
+		}
+	}
+}
+
+func TestRecomputeCategoryPopularitiesIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, err := Generate(genCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.CategoryPopularities()
+	c.RecomputeCategoryPopularities()
+	after := c.CategoryPopularities()
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-12 {
+			t.Fatalf("category %d popularity changed on recompute: %g -> %g", i, before[i], after[i])
+		}
+	}
+}
+
+func TestGenerateNormalizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			NumDocs:   10 + r.Intn(500),
+			NumCats:   1 + r.Intn(50),
+			ThetaDocs: r.Float64(),
+			ThetaCats: r.Float64(),
+			CatAssign: CatAssignMode(r.Intn(2)),
+		}
+		c, err := Generate(cfg, r)
+		if err != nil {
+			return false
+		}
+		var catSum float64
+		for i := range c.Cats {
+			if c.Cats[i].Popularity < 0 {
+				return false
+			}
+			catSum += c.Cats[i].Popularity
+		}
+		return math.Abs(c.TotalPopularity()-1) < 1e-9 && math.Abs(catSum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package chord is a minimal Chord distributed hash table (Stoica et al.,
+// SIGCOMM 2001), built as the comparison point the paper argues against
+// (§2): DHT overlays locate objects in O(log N) hops and balance load only
+// through hash uniformity, ignoring document popularity. The experiments
+// use this package to show (i) lookup hop counts versus the paper's
+// constant-hop routing and (ii) popularity-skewed load under uniform hash
+// placement versus MaxFair.
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a complete, stable Chord ring (no churn — the comparison needs
+// steady-state behaviour only).
+type Ring struct {
+	// ids are the node identifiers, sorted ascending on the ring.
+	ids []uint64
+	// fingers[i][k] is the index (into ids) of the successor of
+	// ids[i] + 2^k.
+	fingers [][]int
+}
+
+// hashBits is the identifier space width. 64-bit ids keep the arithmetic
+// in native integers.
+const hashBits = 64
+
+// hash64 maps arbitrary bytes onto the identifier ring.
+func hash64(data []byte) uint64 {
+	sum := sha1.Sum(data)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NodeKey hashes a node's index (stand-in for its IP) onto the ring.
+func NodeKey(node int) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(node))
+	return hash64(append([]byte("node:"), buf[:]...))
+}
+
+// DocKey hashes a document id onto the ring.
+func DocKey(doc int) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(doc))
+	return hash64(append([]byte("doc:"), buf[:]...))
+}
+
+// New builds a ring of n nodes with hashed identifiers and full finger
+// tables.
+func New(n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("chord: need at least one node, got %d", n)
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = NodeKey(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < n; i++ {
+		if ids[i] == ids[i-1] {
+			return nil, fmt.Errorf("chord: node id collision at %d", i)
+		}
+	}
+	r := &Ring{ids: ids, fingers: make([][]int, n)}
+	for i := range ids {
+		f := make([]int, hashBits)
+		for k := 0; k < hashBits; k++ {
+			f[k] = r.successorIndex(ids[i] + (1 << uint(k)))
+		}
+		r.fingers[i] = f
+	}
+	return r, nil
+}
+
+// N returns the node count.
+func (r *Ring) N() int { return len(r.ids) }
+
+// ID returns the ring identifier of ring position i.
+func (r *Ring) ID(i int) uint64 { return r.ids[i] }
+
+// successorIndex returns the index of the first node with id >= key
+// (wrapping).
+func (r *Ring) successorIndex(key uint64) int {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	if i == len(r.ids) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the ring position responsible for a key (its successor).
+func (r *Ring) Owner(key uint64) int { return r.successorIndex(key) }
+
+// inInterval reports whether x ∈ (a, b] on the ring.
+func inInterval(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// Lookup routes from the node at ring position start to the owner of key
+// using finger tables, returning the owner's position and the hop count.
+// Hops follow the classic iterative closest-preceding-finger algorithm and
+// are O(log N) with high probability.
+func (r *Ring) Lookup(key uint64, start int) (owner, hops int) {
+	cur := start
+	for {
+		succ := (cur + 1) % len(r.ids)
+		if inInterval(key, r.ids[cur], r.ids[succ]) {
+			if succ != cur {
+				hops++
+			}
+			return succ, hops
+		}
+		next := r.closestPrecedingFinger(cur, key)
+		if next == cur {
+			// Fingers gave nothing closer; step to the successor.
+			next = succ
+		}
+		cur = next
+		hops++
+		if hops > len(r.ids) {
+			// Defensive: a correct ring never routes longer than N.
+			panic("chord: lookup did not converge")
+		}
+	}
+}
+
+// closestPrecedingFinger returns the finger of cur that most closely
+// precedes key.
+func (r *Ring) closestPrecedingFinger(cur int, key uint64) int {
+	for k := hashBits - 1; k >= 0; k-- {
+		f := r.fingers[cur][k]
+		if f != cur && inInterval(r.ids[f], r.ids[cur], key-1) && r.ids[f] != key {
+			return f
+		}
+	}
+	return cur
+}
+
+// PlaceDocuments assigns each document (by hashed key) to its owner node
+// and returns the per-node stored popularity — the DHT's load distribution
+// under uniform hashing, which the experiments compare against MaxFair's.
+func (r *Ring) PlaceDocuments(popularities []float64) []float64 {
+	load := make([]float64, len(r.ids))
+	for d, p := range popularities {
+		load[r.Owner(DocKey(d))] += p
+	}
+	return load
+}

@@ -1,0 +1,135 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/zipf"
+)
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("n<0 should fail")
+	}
+}
+
+func TestOwnerIsSuccessor(t *testing.T) {
+	r, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		key := rand.New(rand.NewSource(int64(trial))).Uint64()
+		o := r.Owner(key)
+		// Owner's id must be >= key, and the preceding node's id < key
+		// (with wraparound at position 0).
+		if r.ID(o) < key && o != 0 {
+			t.Fatalf("owner id %d < key %d", r.ID(o), key)
+		}
+		prev := (o - 1 + r.N()) % r.N()
+		if o != 0 && r.ID(prev) >= key {
+			t.Fatalf("predecessor %d also covers key %d", r.ID(prev), key)
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	r, err := New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		key := rng.Uint64()
+		start := rng.Intn(r.N())
+		owner, hops := r.Lookup(key, start)
+		if owner != r.Owner(key) {
+			t.Fatalf("lookup found %d, owner is %d", owner, r.Owner(key))
+		}
+		if hops < 0 || hops > r.N() {
+			t.Fatalf("hops = %d", hops)
+		}
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	r, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var total int
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		_, hops := r.Lookup(rng.Uint64(), rng.Intn(r.N()))
+		total += hops
+	}
+	mean := float64(total) / trials
+	// Chord's expected path length is ~0.5·log2(N) = 5; allow generous
+	// slack but catch linear scans.
+	if mean > 2*math.Log2(1024) {
+		t.Errorf("mean hops %g too high for N=1024 (log2=10)", mean)
+	}
+	if mean < 1 {
+		t.Errorf("mean hops %g suspiciously low", mean)
+	}
+}
+
+func TestLookupFromOwnerIsCheap(t *testing.T) {
+	r, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := DocKey(42)
+	owner := r.Owner(key)
+	// Starting adjacent to the owner: at most a couple of hops.
+	prev := (owner - 1 + r.N()) % r.N()
+	_, hops := r.Lookup(key, prev)
+	if hops > 1 {
+		t.Errorf("lookup from predecessor took %d hops", hops)
+	}
+}
+
+func TestPlaceDocumentsConservesPopularity(t *testing.T) {
+	r, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pops := zipf.Popularities(5000, 0.8)
+	load := r.PlaceDocuments(pops)
+	var sum float64
+	for _, l := range load {
+		sum += l
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("placed popularity sums to %g", sum)
+	}
+}
+
+func TestHashPlacementIsUnfairUnderSkew(t *testing.T) {
+	// The paper's §2 argument: hash uniformity balances document *counts*,
+	// not popularity-weighted load. Under Zipf(0.8) popularity the load
+	// fairness over nodes must be clearly below MaxFair territory (>0.95).
+	r, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := r.PlaceDocuments(zipf.Popularities(5000, 0.8))
+	if f := fairness.Jain(load); f > 0.9 {
+		t.Errorf("hash placement fairness %g unexpectedly high", f)
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	if NodeKey(5) != NodeKey(5) || DocKey(7) != DocKey(7) {
+		t.Error("keys not deterministic")
+	}
+	if NodeKey(5) == DocKey(5) {
+		t.Error("node and doc key spaces should differ")
+	}
+}

@@ -1,0 +1,69 @@
+// Package classify maps user keywords to document categories.
+//
+// The paper delegates this to commercial/academic text-categorization
+// tools (Autonomy, Semio, SVM classifiers — its refs [5, 27, 32]) and
+// treats the mapping as a black box. This package is the synthetic
+// substitute documented in DESIGN.md: every category owns a small keyword
+// vocabulary, and queries are classified by best keyword overlap. That
+// preserves the only property the rest of the system depends on — a
+// deterministic keywords→categories function.
+package classify
+
+import (
+	"sort"
+	"strings"
+
+	"p2pshare/internal/catalog"
+)
+
+// Classifier answers keyword→category queries over a fixed catalog.
+type Classifier struct {
+	byKeyword map[string][]catalog.CategoryID
+}
+
+// New indexes the catalog's category keyword vocabularies.
+func New(c *catalog.Catalog) *Classifier {
+	cl := &Classifier{byKeyword: make(map[string][]catalog.CategoryID)}
+	for i := range c.Cats {
+		cat := &c.Cats[i]
+		for _, kw := range cat.Keywords {
+			kw = normalize(kw)
+			cl.byKeyword[kw] = append(cl.byKeyword[kw], cat.ID)
+		}
+	}
+	return cl
+}
+
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Categories returns the categories matching the keywords, ranked by the
+// number of matching keywords (descending, ties by id). Unknown keywords
+// are ignored; no match yields an empty slice.
+func (cl *Classifier) Categories(keywords []string) []catalog.CategoryID {
+	score := make(map[catalog.CategoryID]int)
+	for _, kw := range keywords {
+		for _, cid := range cl.byKeyword[normalize(kw)] {
+			score[cid]++
+		}
+	}
+	out := make([]catalog.CategoryID, 0, len(score))
+	for cid := range score {
+		out = append(out, cid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if score[out[i]] != score[out[j]] {
+			return score[out[i]] > score[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Best returns the single best-matching category and whether any matched.
+func (cl *Classifier) Best(keywords []string) (catalog.CategoryID, bool) {
+	cats := cl.Categories(keywords)
+	if len(cats) == 0 {
+		return catalog.NoCategory, false
+	}
+	return cats[0], true
+}

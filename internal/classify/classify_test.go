@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pshare/internal/catalog"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.Generate(catalog.Config{NumDocs: 100, NumCats: 20, ThetaDocs: 0.8, ThetaCats: 0.7},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBestExactKeyword(t *testing.T) {
+	c := testCatalog(t)
+	cl := New(c)
+	for i := range c.Cats {
+		// The per-category unique keyword (kw<i>) must resolve to it.
+		got, ok := cl.Best([]string{c.Cats[i].Keywords[0]})
+		if !ok || got != c.Cats[i].ID {
+			t.Fatalf("keyword %q -> (%d, %v), want %d", c.Cats[i].Keywords[0], got, ok, c.Cats[i].ID)
+		}
+	}
+}
+
+func TestBestNoMatch(t *testing.T) {
+	cl := New(testCatalog(t))
+	if got, ok := cl.Best([]string{"zzz-nothing"}); ok || got != catalog.NoCategory {
+		t.Errorf("unmatched keywords -> (%d, %v)", got, ok)
+	}
+	if got, ok := cl.Best(nil); ok || got != catalog.NoCategory {
+		t.Errorf("empty keywords -> (%d, %v)", got, ok)
+	}
+}
+
+func TestCategoriesRankedByOverlap(t *testing.T) {
+	c := testCatalog(t)
+	cl := New(c)
+	// Two keywords of category 3 plus one shared genre keyword: category
+	// 3 must rank first.
+	kws := []string{c.Cats[3].Keywords[0], c.Cats[3].Keywords[1], c.Cats[3].Keywords[2]}
+	got := cl.Categories(kws)
+	if len(got) == 0 || got[0] != c.Cats[3].ID {
+		t.Fatalf("Categories(%v) = %v, want leading %d", kws, got, c.Cats[3].ID)
+	}
+	// The shared genre keyword matches the whole decade of categories.
+	genre := c.Cats[3].Keywords[2]
+	matches := cl.Categories([]string{genre})
+	if len(matches) < 2 {
+		t.Errorf("genre keyword %q matched only %d categories", genre, len(matches))
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	c := testCatalog(t)
+	cl := New(c)
+	kw := "  " + c.Cats[5].Keywords[0] + " "
+	upper := []string{kw}
+	got, ok := cl.Best(upper)
+	if !ok || got != c.Cats[5].ID {
+		t.Errorf("whitespace keyword not normalized: (%d, %v)", got, ok)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	c := testCatalog(t)
+	cl := New(c)
+	genre := c.Cats[0].Keywords[2] // shared by categories 0..9
+	a := cl.Categories([]string{genre})
+	b := cl.Categories([]string{genre})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatal("equal-score categories not ordered by id")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+)
+
+// ExactLimit bounds the search space ExactMaxFair will accept
+// (|C|^|S| assignments). ICLB is NP-complete (paper §4.2, by reduction
+// from BALANCED PARTITION), so the exact solver exists only to measure
+// MaxFair's optimality gap on tiny instances.
+const ExactLimit = 5_000_000
+
+// ExactMaxFair exhaustively searches every category→cluster assignment and
+// returns the one maximizing the fairness index. It returns an error when
+// the search space exceeds ExactLimit.
+func ExactMaxFair(inst *model.Instance) (*Result, error) {
+	st, err := NewState(inst)
+	if err != nil {
+		return nil, err
+	}
+	nCats, nCls := st.NumCategories(), st.NumClusters()
+	space := 1.0
+	for i := 0; i < nCats; i++ {
+		space *= float64(nCls)
+		if space > ExactLimit {
+			return nil, fmt.Errorf("core: exact search space %d^%d exceeds limit %d", nCls, nCats, ExactLimit)
+		}
+	}
+
+	var (
+		bestF      = -1.0
+		bestAssign []model.ClusterID
+	)
+	var rec func(cat int)
+	rec = func(cat int) {
+		if cat == nCats {
+			if f := st.Fairness(); f > bestF {
+				bestF = f
+				bestAssign = st.Assignment()
+			}
+			return
+		}
+		// Symmetry breaking: the first category can go to cluster 0
+		// without loss of generality only when clusters are
+		// interchangeable; they are (all start empty), so restrict the
+		// first category to cluster 0.
+		limit := nCls
+		if cat == 0 {
+			limit = 1
+		}
+		for cl := 0; cl < limit; cl++ {
+			if err := st.Assign(catalog.CategoryID(cat), model.ClusterID(cl)); err != nil {
+				panic(err) // unreachable: ids are in range and unassigned
+			}
+			rec(cat + 1)
+			if err := st.Unassign(catalog.CategoryID(cat)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	rec(0)
+
+	final, err := NewState(inst)
+	if err != nil {
+		return nil, err
+	}
+	for c, cl := range bestAssign {
+		if cl == model.NoCluster {
+			continue
+		}
+		if err := final.Assign(catalog.CategoryID(c), cl); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Assignment:             final.Assignment(),
+		Fairness:               final.Fairness(),
+		NormalizedPopularities: final.NormalizedPopularities(),
+		State:                  final,
+	}, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+)
+
+// Order selects the sequence in which MaxFair considers categories.
+type Order int
+
+const (
+	// OrderPopularityDesc considers the most popular categories first —
+	// the default; greedy partitioners place big items first.
+	OrderPopularityDesc Order = iota
+	// OrderPopularityAsc considers the least popular categories first
+	// (ablation).
+	OrderPopularityAsc
+	// OrderRandom shuffles the categories (ablation; requires Options.Rng).
+	OrderRandom
+	// OrderGiven uses catalog id order.
+	OrderGiven
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderPopularityDesc:
+		return "popularity-desc"
+	case OrderPopularityAsc:
+		return "popularity-asc"
+	case OrderRandom:
+		return "random"
+	case OrderGiven:
+		return "given"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Options configures MaxFair.
+type Options struct {
+	Order Order
+	// Rng is required for OrderRandom and ignored otherwise.
+	Rng *rand.Rand
+	// Naive forces full O(|C|) fairness recomputation per candidate
+	// instead of the O(1) incremental probe, reproducing the paper's
+	// stated O(|S|·|C|²) complexity. Results are identical; this exists
+	// for the ablation benchmark.
+	Naive bool
+}
+
+// Result is the outcome of a MaxFair run.
+type Result struct {
+	// Assignment maps each category to its cluster.
+	Assignment []model.ClusterID
+	// Fairness is Jain's index over the final normalized cluster
+	// popularities.
+	Fairness float64
+	// NormalizedPopularities is the final x_i vector.
+	NormalizedPopularities []float64
+	// State is the live state, usable for subsequent rebalancing.
+	State *State
+}
+
+// MaxFair runs the paper's greedy inter-cluster load-balancing algorithm
+// (§4.4): categories are considered in turn and each is assigned to the
+// cluster that yields the maximum fairness index over the normalized
+// cluster popularities.
+func MaxFair(inst *model.Instance, opts Options) (*Result, error) {
+	st, err := NewState(inst)
+	if err != nil {
+		return nil, err
+	}
+	order, err := categoryOrder(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, cat := range order {
+		best := model.ClusterID(0)
+		bestF := -1.0
+		for cl := 0; cl < st.NumClusters(); cl++ {
+			var f float64
+			if opts.Naive {
+				f = naiveProbeAssign(st, cat, model.ClusterID(cl))
+			} else {
+				f = st.ProbeAssign(cat, model.ClusterID(cl))
+			}
+			if f > bestF {
+				best, bestF = model.ClusterID(cl), f
+			}
+		}
+		if err := st.Assign(cat, best); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Assignment:             st.Assignment(),
+		Fairness:               st.Fairness(),
+		NormalizedPopularities: st.NormalizedPopularities(),
+		State:                  st,
+	}, nil
+}
+
+// naiveProbeAssign recomputes the full fairness index for a candidate
+// assignment by temporarily applying it — the paper's O(|C|)-per-candidate
+// evaluation, kept for the ablation benchmark.
+func naiveProbeAssign(st *State, cat catalog.CategoryID, cl model.ClusterID) float64 {
+	if err := st.Assign(cat, cl); err != nil {
+		return -1
+	}
+	xs := st.NormalizedPopularities()
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+	}
+	_ = st.Unassign(cat)
+	if sum2 == 0 {
+		return 1
+	}
+	f := sum * sum / (float64(len(xs)) * sum2)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+func categoryOrder(st *State, opts Options) ([]catalog.CategoryID, error) {
+	n := st.NumCategories()
+	order := make([]catalog.CategoryID, n)
+	for i := range order {
+		order[i] = catalog.CategoryID(i)
+	}
+	switch opts.Order {
+	case OrderPopularityDesc:
+		sort.SliceStable(order, func(i, j int) bool {
+			return st.CategoryPopularity(order[i]) > st.CategoryPopularity(order[j])
+		})
+	case OrderPopularityAsc:
+		sort.SliceStable(order, func(i, j int) bool {
+			return st.CategoryPopularity(order[i]) < st.CategoryPopularity(order[j])
+		})
+	case OrderRandom:
+		if opts.Rng == nil {
+			return nil, fmt.Errorf("core: OrderRandom requires Options.Rng")
+		}
+		opts.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case OrderGiven:
+		// Catalog id order as built.
+	default:
+		return nil, fmt.Errorf("core: unknown order %d", opts.Order)
+	}
+	return order, nil
+}
+
+// Move records one MaxFair_Reassign step.
+type Move struct {
+	Category catalog.CategoryID
+	From, To model.ClusterID
+	// FairnessAfter is the fairness index after applying this move.
+	FairnessAfter float64
+}
+
+// ReassignOptions configures MaxFairReassign.
+type ReassignOptions struct {
+	// TargetFairness stops rebalancing once the index reaches this value
+	// (the paper's upper threshold, e.g. 0.92).
+	TargetFairness float64
+	// MaxMoves caps the number of category reassignments (the paper's
+	// max_moves).
+	MaxMoves int
+}
+
+// MaxFairReassign runs the paper's rebalancing algorithm (§6.1.2): while
+// fairness is below the target and the move budget remains, take the
+// cluster with the highest normalized popularity, dummy-test reassigning
+// each of its categories to every other cluster, and apply the single best
+// improving move. It mutates st and returns the applied moves in order.
+//
+// One extension beyond the paper's pseudocode: when no move out of the
+// hottest cluster improves fairness (which happens when the imbalance is
+// driven by an underloaded cluster rather than an overloaded one), the
+// algorithm also tries moving the best category from any cluster into the
+// coldest cluster before giving up. Either way every applied move strictly
+// improves fairness, so the trajectory is monotone and the loop terminates.
+func MaxFairReassign(st *State, opts ReassignOptions) ([]Move, error) {
+	if opts.MaxMoves <= 0 {
+		return nil, fmt.Errorf("core: MaxMoves must be positive, got %d", opts.MaxMoves)
+	}
+	if opts.TargetFairness <= 0 || opts.TargetFairness > 1 {
+		return nil, fmt.Errorf("core: TargetFairness %g out of (0,1]", opts.TargetFairness)
+	}
+	var moves []Move
+	for len(moves) < opts.MaxMoves && st.Fairness() < opts.TargetFairness {
+		hot := st.MostLoadedCluster()
+		best, found := bestMoveFrom(st, st.CategoriesIn(hot), func(model.ClusterID) bool { return true })
+		if !found {
+			// Fallback: feed the coldest cluster from anywhere.
+			cold := coldestCluster(st)
+			all := make([]catalog.CategoryID, 0, st.NumCategories())
+			for c := 0; c < st.NumCategories(); c++ {
+				cat := catalog.CategoryID(c)
+				if cl := st.ClusterOf(cat); cl != model.NoCluster && cl != cold {
+					all = append(all, cat)
+				}
+			}
+			best, found = bestMoveFrom(st, all, func(to model.ClusterID) bool { return to == cold })
+		}
+		if !found {
+			break // no improving move exists
+		}
+		from := st.ClusterOf(best.Category)
+		if err := st.Move(best.Category, best.To); err != nil {
+			return moves, err
+		}
+		moves = append(moves, Move{
+			Category:      best.Category,
+			From:          from,
+			To:            best.To,
+			FairnessAfter: st.Fairness(),
+		})
+	}
+	return moves, nil
+}
+
+// candidateMove is an internal best-move record.
+type candidateMove struct {
+	Category catalog.CategoryID
+	To       model.ClusterID
+}
+
+// bestMoveFrom probes moving each of cats to every admissible cluster and
+// returns the strictly-improving move with the highest resulting fairness.
+func bestMoveFrom(st *State, cats []catalog.CategoryID, admit func(model.ClusterID) bool) (candidateMove, bool) {
+	var (
+		best  candidateMove
+		bestF = st.Fairness()
+		found bool
+	)
+	for _, cat := range cats {
+		from := st.ClusterOf(cat)
+		for cl := 0; cl < st.NumClusters(); cl++ {
+			to := model.ClusterID(cl)
+			if to == from || !admit(to) {
+				continue
+			}
+			if f := st.ProbeMove(cat, to); f > bestF {
+				best, bestF, found = candidateMove{cat, to}, f, true
+			}
+		}
+	}
+	return best, found
+}
+
+// coldestCluster returns the cluster with the lowest normalized popularity.
+func coldestCluster(st *State) model.ClusterID {
+	best := model.ClusterID(0)
+	bestX := st.x(0)
+	for c := 1; c < st.NumClusters(); c++ {
+		if x := st.x(model.ClusterID(c)); x < bestX {
+			best, bestX = model.ClusterID(c), x
+		}
+	}
+	return best
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+)
+
+func TestMaxFairAssignsEveryCategoryOnce(t *testing.T) {
+	inst := testInstance(t, 20)
+	res, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != inst.CatCount() {
+		t.Fatalf("assignment covers %d of %d categories", len(res.Assignment), inst.CatCount())
+	}
+	for c, cl := range res.Assignment {
+		if cl == model.NoCluster {
+			t.Fatalf("category %d unassigned", c)
+		}
+		if int(cl) < 0 || int(cl) >= inst.NumClusters {
+			t.Fatalf("category %d on invalid cluster %d", c, cl)
+		}
+	}
+}
+
+func TestMaxFairAchievesHighFairness(t *testing.T) {
+	// Paper §4.4: "for all the tested cases the fairness achieved by
+	// MaxFair is greater than 95%."
+	inst := testInstance(t, 21)
+	res, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fairness < 0.95 {
+		t.Errorf("MaxFair fairness = %g, paper reports > 0.95", res.Fairness)
+	}
+}
+
+func TestMaxFairBeatsRandomAssignment(t *testing.T) {
+	inst := testInstance(t, 22)
+	res, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	st, _ := NewState(inst)
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	if res.Fairness <= st.Fairness() {
+		t.Errorf("MaxFair %g should beat random %g", res.Fairness, st.Fairness())
+	}
+}
+
+func TestMaxFairNaiveMatchesIncremental(t *testing.T) {
+	inst := testInstance(t, 23)
+	fast, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MaxFair(inst, Options{Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Fairness-slow.Fairness) > 1e-9 {
+		t.Fatalf("incremental fairness %g != naive %g", fast.Fairness, slow.Fairness)
+	}
+	for c := range fast.Assignment {
+		if fast.Assignment[c] != slow.Assignment[c] {
+			t.Fatalf("category %d: incremental -> %d, naive -> %d", c, fast.Assignment[c], slow.Assignment[c])
+		}
+	}
+}
+
+func TestMaxFairOrders(t *testing.T) {
+	inst := testInstance(t, 24)
+	rng := rand.New(rand.NewSource(24))
+	for _, o := range []Order{OrderPopularityDesc, OrderPopularityAsc, OrderRandom, OrderGiven} {
+		res, err := MaxFair(inst, Options{Order: o, Rng: rng})
+		if err != nil {
+			t.Fatalf("order %v: %v", o, err)
+		}
+		if res.Fairness <= 0 || res.Fairness > 1 {
+			t.Errorf("order %v: fairness %g out of range", o, res.Fairness)
+		}
+	}
+	if _, err := MaxFair(inst, Options{Order: OrderRandom}); err == nil {
+		t.Error("OrderRandom without rng should fail")
+	}
+	if _, err := MaxFair(inst, Options{Order: Order(42)}); err == nil {
+		t.Error("unknown order should fail")
+	}
+}
+
+func TestMaxFairDeterministic(t *testing.T) {
+	inst := testInstance(t, 25)
+	a, _ := MaxFair(inst, Options{})
+	b, _ := MaxFair(inst, Options{})
+	for c := range a.Assignment {
+		if a.Assignment[c] != b.Assignment[c] {
+			t.Fatal("MaxFair is not deterministic")
+		}
+	}
+}
+
+func TestMaxFairReassignImprovesFairness(t *testing.T) {
+	inst := testInstance(t, 26)
+	// Start from a poor assignment: everything on cluster 0 is extreme;
+	// use round-robin by popularity rank which is mediocre.
+	st, _ := NewState(inst)
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(c%3)) // only 3 of 12 clusters used
+	}
+	before := st.Fairness()
+	moves, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0.92, MaxMoves: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := st.Fairness()
+	if after < before {
+		t.Fatalf("reassign decreased fairness %g -> %g", before, after)
+	}
+	if after < 0.92 && len(moves) < 200 {
+		t.Errorf("stopped below target with budget left: fairness %g after %d moves", after, len(moves))
+	}
+	// Trajectory is monotonically non-decreasing.
+	prev := before
+	for i, m := range moves {
+		if m.FairnessAfter < prev-1e-12 {
+			t.Fatalf("move %d decreased fairness %g -> %g", i, prev, m.FairnessAfter)
+		}
+		prev = m.FairnessAfter
+	}
+}
+
+func TestMaxFairReassignRespectsMaxMoves(t *testing.T) {
+	inst := testInstance(t, 27)
+	st, _ := NewState(inst)
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), 0)
+	}
+	moves, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0.99, MaxMoves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) > 3 {
+		t.Errorf("made %d moves, budget was 3", len(moves))
+	}
+}
+
+func TestMaxFairReassignNoopWhenAboveTarget(t *testing.T) {
+	inst := testInstance(t, 28)
+	res, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fairness < 0.9 {
+		t.Skip("instance unexpectedly hard")
+	}
+	moves, err := MaxFairReassign(res.State, ReassignOptions{TargetFairness: res.Fairness - 0.01, MaxMoves: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("reassign made %d moves although already above target", len(moves))
+	}
+}
+
+func TestMaxFairReassignOptionErrors(t *testing.T) {
+	inst := testInstance(t, 29)
+	st, _ := NewState(inst)
+	if _, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0.9, MaxMoves: 0}); err == nil {
+		t.Error("MaxMoves=0 should fail")
+	}
+	if _, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0, MaxMoves: 5}); err == nil {
+		t.Error("TargetFairness=0 should fail")
+	}
+	if _, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 1.5, MaxMoves: 5}); err == nil {
+		t.Error("TargetFairness>1 should fail")
+	}
+}
+
+func TestMaxFairReassignMoveRecords(t *testing.T) {
+	inst := testInstance(t, 30)
+	st, _ := NewState(inst)
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(c%2))
+	}
+	moves, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0.95, MaxMoves: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range moves {
+		if m.From == m.To {
+			t.Errorf("move %d: from == to == %d", i, m.From)
+		}
+	}
+	// Final assignment reflects the last move of each category.
+	last := make(map[catalog.CategoryID]model.ClusterID)
+	for _, m := range moves {
+		last[m.Category] = m.To
+	}
+	for cat, to := range last {
+		if got := st.ClusterOf(cat); got != to {
+			t.Errorf("category %d on cluster %d, last move says %d", cat, got, to)
+		}
+	}
+}
+
+func TestExactMaxFairOptimalOnTinyInstance(t *testing.T) {
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 60
+	cfg.Catalog.NumCats = 8
+	cfg.NumNodes = 20
+	cfg.NumClusters = 3
+	cfg.Seed = 31
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMaxFair(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Fairness > exact.Fairness+1e-9 {
+		t.Fatalf("greedy %g beats exact %g — exact solver is broken", greedy.Fairness, exact.Fairness)
+	}
+	// Every category assigned in the exact solution too.
+	for c, cl := range exact.Assignment {
+		if cl == model.NoCluster {
+			t.Fatalf("exact left category %d unassigned", c)
+		}
+	}
+}
+
+func TestExactMaxFairRejectsLargeSpace(t *testing.T) {
+	inst := testInstance(t, 32) // 60 categories × 12 clusters — way over
+	if _, err := ExactMaxFair(inst); err == nil {
+		t.Error("exact solver should reject a huge search space")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for _, c := range []struct {
+		o    Order
+		want string
+	}{
+		{OrderPopularityDesc, "popularity-desc"},
+		{OrderPopularityAsc, "popularity-asc"},
+		{OrderRandom, "random"},
+		{OrderGiven, "given"},
+		{Order(9), "Order(9)"},
+	} {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("Order(%d).String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+)
+
+func TestCoVEquivalentToJain(t *testing.T) {
+	// CoV² = 1/Jain − 1 for any non-degenerate allocation, so the two
+	// rank all allocations identically and "minimize CoV" is not a
+	// distinct objective.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() + 0.001
+		}
+		j := fairness.Jain(xs)
+		cov := fairness.CoV(xs)
+		return math.Abs(cov*cov-(1/j-1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectiveMinMaxAssignsEverything(t *testing.T) {
+	inst := testInstance(t, 60)
+	res, err := MaxFairWithObjective(inst, ObjectiveMinMax, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cl := range res.Assignment {
+		if int(cl) < 0 || int(cl) >= inst.NumClusters {
+			t.Fatalf("category %d on cluster %d", c, cl)
+		}
+	}
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Errorf("fairness %g out of range", res.Fairness)
+	}
+}
+
+func TestObjectiveJainDelegates(t *testing.T) {
+	inst := testInstance(t, 61)
+	a, err := MaxFairWithObjective(inst, ObjectiveJain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxFair(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fairness != b.Fairness {
+		t.Errorf("ObjectiveJain diverged from MaxFair: %g vs %g", a.Fairness, b.Fairness)
+	}
+}
+
+func TestObjectiveMinMaxLowersPeak(t *testing.T) {
+	// Min-max should produce a peak normalized popularity no worse than
+	// random placement's.
+	inst := testInstance(t, 62)
+	res, err := MaxFairWithObjective(inst, ObjectiveMinMax, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(62))
+	st, _ := NewState(inst)
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	if peak(res.NormalizedPopularities) > peak(st.NormalizedPopularities()) {
+		t.Errorf("min-max peak %g worse than random %g",
+			peak(res.NormalizedPopularities), peak(st.NormalizedPopularities()))
+	}
+}
+
+func TestObjectiveErrorsAndStrings(t *testing.T) {
+	inst := testInstance(t, 63)
+	if _, err := MaxFairWithObjective(inst, Objective(9), Options{}); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	if ObjectiveJain.String() != "jain" || ObjectiveMinMax.String() != "min-max" {
+		t.Error("objective strings wrong")
+	}
+	if Objective(9).String() != "Objective(9)" {
+		t.Error("unknown objective string wrong")
+	}
+}

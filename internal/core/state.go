@@ -1,0 +1,368 @@
+// Package core implements the paper's primary contribution: the
+// inter-cluster load-balancing (ICLB) problem state, the greedy MaxFair
+// assignment algorithm (§4.4), the MaxFair_Reassign rebalancing algorithm
+// (§6.1.2), and an exact solver for small instances (ICLB is NP-complete,
+// §4.2).
+//
+// # Formulation
+//
+// Clusters are scored by their normalized popularity
+//
+//	x_i = p(S_i) / Σ_{k∈N_i} u_k · p(D_i(k)) / p(D(k))
+//
+// (paper §4.3.3), where p(S_i) is the summed popularity of the categories
+// assigned to cluster i and the denominator is the effective compute the
+// cluster's nodes dedicate to it. Because p(D(k)) is fixed by node k's
+// contributions, every category s carries a precomputable unit mass
+//
+//	U(s) = Σ_k u_k · p(D_s(k)) / p(D(k))
+//
+// so that assigning s to cluster c is two additions, and Jain's fairness
+// index over the x_i updates in O(1) through fairness.Tracker. This exactly
+// recovers the paper's special cases: homogeneous single-category nodes
+// give x_i = p(S_i)/|N_i| (§4.2), heterogeneous units give §4.3.1, and
+// multi-category contributors give the popularity-proportional split of
+// §4.3.2.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+)
+
+// State tracks a (partial) assignment of categories to clusters along with
+// the normalized cluster popularities and their fairness index, supporting
+// O(1) candidate probes and assignment updates.
+type State struct {
+	numClusters int
+
+	// Per category, indexed by catalog.CategoryID.
+	catPop   []float64
+	catUnits []float64
+	assign   []model.ClusterID
+
+	// Per cluster.
+	clPop   []float64
+	clUnits []float64
+
+	tracker *fairness.Tracker
+}
+
+// NewState builds the ICLB state for an instance with no categories
+// assigned yet.
+func NewState(inst *model.Instance) (*State, error) {
+	if inst.NumClusters <= 0 {
+		return nil, fmt.Errorf("core: instance has %d clusters", inst.NumClusters)
+	}
+	s := &State{
+		numClusters: inst.NumClusters,
+		catPop:      make([]float64, len(inst.Catalog.Cats)),
+		catUnits:    make([]float64, len(inst.Catalog.Cats)),
+		assign:      make([]model.ClusterID, len(inst.Catalog.Cats)),
+		clPop:       make([]float64, inst.NumClusters),
+		clUnits:     make([]float64, inst.NumClusters),
+		tracker:     fairness.NewTracker(inst.NumClusters),
+	}
+	for i := range s.assign {
+		s.assign[i] = model.NoCluster
+	}
+	for i := range inst.Catalog.Cats {
+		s.catPop[i] = inst.Catalog.Cats[i].Popularity
+	}
+	// U(s) = Σ_k u_k · p(D_s(k)) / p(D(k)): accumulate per contributing
+	// node, walking each node's contributions once.
+	for k := range inst.Nodes {
+		node := &inst.Nodes[k]
+		pDk := inst.ContributedPopularity(node.ID)
+		if pDk <= 0 {
+			continue
+		}
+		for _, di := range node.Contributed {
+			d := &inst.Catalog.Docs[di]
+			share := d.PopularityShare()
+			for _, cid := range d.Categories {
+				s.catUnits[cid] += node.Units * share / pDk
+			}
+		}
+	}
+	return s, nil
+}
+
+// NewStateFromMeasurements builds an ICLB state directly from measured
+// quantities instead of a model instance: per-category popularities (e.g.
+// normalized hit counters from the §6.1.2 monitoring phase), per-category
+// unit masses, and the current assignment. This is what a cluster leader
+// uses during adaptation — it has no global instance, only aggregated
+// measurements.
+func NewStateFromMeasurements(numClusters int, catPop, catUnits []float64, assign []model.ClusterID) (*State, error) {
+	if numClusters <= 0 {
+		return nil, fmt.Errorf("core: numClusters must be positive, got %d", numClusters)
+	}
+	if len(catPop) != len(catUnits) || len(catPop) != len(assign) {
+		return nil, fmt.Errorf("core: measurement lengths disagree (%d pop, %d units, %d assign)",
+			len(catPop), len(catUnits), len(assign))
+	}
+	s := &State{
+		numClusters: numClusters,
+		catPop:      append([]float64(nil), catPop...),
+		catUnits:    append([]float64(nil), catUnits...),
+		assign:      make([]model.ClusterID, len(assign)),
+		clPop:       make([]float64, numClusters),
+		clUnits:     make([]float64, numClusters),
+		tracker:     fairness.NewTracker(numClusters),
+	}
+	for i := range s.assign {
+		s.assign[i] = model.NoCluster
+	}
+	for c, cl := range assign {
+		if cl == model.NoCluster {
+			continue
+		}
+		if err := s.Assign(catalog.CategoryID(c), cl); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NumClusters returns the number of clusters in the instance.
+func (s *State) NumClusters() int { return s.numClusters }
+
+// NumCategories returns the number of categories in the instance.
+func (s *State) NumCategories() int { return len(s.catPop) }
+
+// CategoryPopularity returns p(s) for the category.
+func (s *State) CategoryPopularity(c catalog.CategoryID) float64 { return s.catPop[c] }
+
+// CategoryUnits returns the unit mass U(s) for the category.
+func (s *State) CategoryUnits(c catalog.CategoryID) float64 { return s.catUnits[c] }
+
+// ClusterOf returns the cluster a category is assigned to, or
+// model.NoCluster.
+func (s *State) ClusterOf(c catalog.CategoryID) model.ClusterID { return s.assign[c] }
+
+// Assignment returns a copy of the category→cluster assignment.
+func (s *State) Assignment() []model.ClusterID {
+	return append([]model.ClusterID(nil), s.assign...)
+}
+
+// normPop returns the normalized popularity a cluster would have with the
+// given totals: pop/units with the 0/0 convention of an empty cluster
+// scoring 0.
+func normPop(pop, units float64) float64 {
+	if units == 0 {
+		if pop == 0 {
+			return 0
+		}
+		// Popularity with no compute behind it: infinitely overloaded.
+		return math.Inf(1)
+	}
+	return pop / units
+}
+
+// x returns the current normalized popularity of cluster c.
+func (s *State) x(c model.ClusterID) float64 {
+	return normPop(s.clPop[c], s.clUnits[c])
+}
+
+// NormalizedPopularities returns the x_i vector (one entry per cluster).
+func (s *State) NormalizedPopularities() []float64 {
+	out := make([]float64, s.numClusters)
+	for c := range out {
+		out[c] = s.x(model.ClusterID(c))
+	}
+	return out
+}
+
+// Fairness returns Jain's index over the current normalized popularities.
+func (s *State) Fairness() float64 { return s.tracker.Index() }
+
+// Assign places category cat on cluster cl. It returns an error if the
+// category is already assigned or either id is out of range.
+func (s *State) Assign(cat catalog.CategoryID, cl model.ClusterID) error {
+	if err := s.checkIDs(cat, cl); err != nil {
+		return err
+	}
+	if s.assign[cat] != model.NoCluster {
+		return fmt.Errorf("core: category %d already assigned to cluster %d", cat, s.assign[cat])
+	}
+	old := s.x(cl)
+	s.clPop[cl] += s.catPop[cat]
+	s.clUnits[cl] += s.catUnits[cat]
+	s.assign[cat] = cl
+	s.tracker.Update(old, s.x(cl))
+	return nil
+}
+
+// Unassign removes category cat from its cluster.
+func (s *State) Unassign(cat catalog.CategoryID) error {
+	if int(cat) < 0 || int(cat) >= len(s.assign) {
+		return fmt.Errorf("core: unknown category %d", cat)
+	}
+	cl := s.assign[cat]
+	if cl == model.NoCluster {
+		return fmt.Errorf("core: category %d is not assigned", cat)
+	}
+	old := s.x(cl)
+	s.clPop[cl] = sub(s.clPop[cl], s.catPop[cat])
+	s.clUnits[cl] = sub(s.clUnits[cl], s.catUnits[cat])
+	s.assign[cat] = model.NoCluster
+	s.tracker.Update(old, s.x(cl))
+	return nil
+}
+
+// Move reassigns category cat to cluster to (a no-op if it is already
+// there).
+func (s *State) Move(cat catalog.CategoryID, to model.ClusterID) error {
+	if err := s.checkIDs(cat, to); err != nil {
+		return err
+	}
+	from := s.assign[cat]
+	if from == model.NoCluster {
+		return s.Assign(cat, to)
+	}
+	if from == to {
+		return nil
+	}
+	oldFrom, oldTo := s.x(from), s.x(to)
+	s.clPop[from] = sub(s.clPop[from], s.catPop[cat])
+	s.clUnits[from] = sub(s.clUnits[from], s.catUnits[cat])
+	s.clPop[to] += s.catPop[cat]
+	s.clUnits[to] += s.catUnits[cat]
+	s.assign[cat] = to
+	s.tracker.Update(oldFrom, s.x(from))
+	s.tracker.Update(oldTo, s.x(to))
+	return nil
+}
+
+// ProbeAssign returns the fairness index that would result from assigning
+// the (unassigned) category to the cluster, without mutating state.
+func (s *State) ProbeAssign(cat catalog.CategoryID, cl model.ClusterID) float64 {
+	old := s.x(cl)
+	new := normPop(s.clPop[cl]+s.catPop[cat], s.clUnits[cl]+s.catUnits[cat])
+	return s.tracker.Probe(old, new)
+}
+
+// ProbeMove returns the fairness index that would result from moving the
+// category from its current cluster to the given one, without mutating
+// state. Probing a move to the category's current cluster returns the
+// current fairness.
+func (s *State) ProbeMove(cat catalog.CategoryID, to model.ClusterID) float64 {
+	from := s.assign[cat]
+	if from == model.NoCluster {
+		return s.ProbeAssign(cat, to)
+	}
+	if from == to {
+		return s.Fairness()
+	}
+	oldFrom, oldTo := s.x(from), s.x(to)
+	newFrom := normPop(sub(s.clPop[from], s.catPop[cat]), sub(s.clUnits[from], s.catUnits[cat]))
+	newTo := normPop(s.clPop[to]+s.catPop[cat], s.clUnits[to]+s.catUnits[cat])
+	return s.tracker.Probe2(oldFrom, newFrom, oldTo, newTo)
+}
+
+// MostLoadedCluster returns the cluster with the highest normalized
+// popularity (lowest id on ties).
+func (s *State) MostLoadedCluster() model.ClusterID {
+	best := model.ClusterID(0)
+	bestX := s.x(0)
+	for c := 1; c < s.numClusters; c++ {
+		if x := s.x(model.ClusterID(c)); x > bestX {
+			best, bestX = model.ClusterID(c), x
+		}
+	}
+	return best
+}
+
+// CategoriesIn returns the categories currently assigned to cluster cl.
+func (s *State) CategoriesIn(cl model.ClusterID) []catalog.CategoryID {
+	var out []catalog.CategoryID
+	for c, a := range s.assign {
+		if a == cl {
+			out = append(out, catalog.CategoryID(c))
+		}
+	}
+	return out
+}
+
+// SetCategoryPopularity updates p(s) for a category in place (content
+// popularity drift, §6.1), keeping cluster totals and fairness consistent.
+func (s *State) SetCategoryPopularity(cat catalog.CategoryID, pop float64) error {
+	if int(cat) < 0 || int(cat) >= len(s.catPop) {
+		return fmt.Errorf("core: unknown category %d", cat)
+	}
+	if pop < 0 {
+		return fmt.Errorf("core: negative popularity %g", pop)
+	}
+	cl := s.assign[cat]
+	if cl == model.NoCluster {
+		s.catPop[cat] = pop
+		return nil
+	}
+	old := s.x(cl)
+	s.clPop[cl] = sub(s.clPop[cl], s.catPop[cat]-pop)
+	s.catPop[cat] = pop
+	s.tracker.Update(old, s.x(cl))
+	return nil
+}
+
+// Rebuild reconstructs the state from the instance's current catalog and
+// node population while preserving the existing assignment. Use it after
+// perturbing the catalog (added documents, shifted popularities) to
+// evaluate the old assignment against the new world — the paper's
+// robustness experiment (§5) does exactly this.
+func (s *State) Rebuild(inst *model.Instance) error {
+	fresh, err := NewState(inst)
+	if err != nil {
+		return err
+	}
+	for c, cl := range s.assign {
+		if c < fresh.NumCategories() && cl != model.NoCluster {
+			if err := fresh.Assign(catalog.CategoryID(c), cl); err != nil {
+				return err
+			}
+		}
+	}
+	*s = *fresh
+	return nil
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	c := &State{
+		numClusters: s.numClusters,
+		catPop:      append([]float64(nil), s.catPop...),
+		catUnits:    append([]float64(nil), s.catUnits...),
+		assign:      append([]model.ClusterID(nil), s.assign...),
+		clPop:       append([]float64(nil), s.clPop...),
+		clUnits:     append([]float64(nil), s.clUnits...),
+		tracker:     fairness.NewTrackerFrom(s.NormalizedPopularities()),
+	}
+	return c
+}
+
+func (s *State) checkIDs(cat catalog.CategoryID, cl model.ClusterID) error {
+	if int(cat) < 0 || int(cat) >= len(s.assign) {
+		return fmt.Errorf("core: unknown category %d", cat)
+	}
+	if int(cl) < 0 || int(cl) >= s.numClusters {
+		return fmt.Errorf("core: unknown cluster %d", cl)
+	}
+	return nil
+}
+
+// sub subtracts b from a, squashing floating-point residue so an emptied
+// cluster reads exactly zero. Without this, probing a move that empties a
+// cluster would divide two subtraction residues and report an arbitrary
+// normalized popularity.
+func sub(a, b float64) float64 {
+	d := a - b
+	if math.Abs(d) < 1e-12 {
+		return 0
+	}
+	return d
+}

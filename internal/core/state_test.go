@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+)
+
+func testInstance(t testing.TB, seed int64) *model.Instance {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 3000
+	cfg.Catalog.NumCats = 60
+	cfg.NumNodes = 300
+	cfg.NumClusters = 12
+	cfg.Seed = seed
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// naiveNormPops recomputes normalized cluster popularities from first
+// principles (paper §4.3.3 formula with D_i(k) = contributed docs of k in
+// cluster i), independent of the incremental engine.
+func naiveNormPops(inst *model.Instance, assign []model.ClusterID) []float64 {
+	pop := make([]float64, inst.NumClusters)
+	units := make([]float64, inst.NumClusters)
+	for c := range inst.Catalog.Cats {
+		if cl := assign[c]; cl != model.NoCluster {
+			pop[cl] += inst.Catalog.Cats[c].Popularity
+		}
+	}
+	for k := range inst.Nodes {
+		node := &inst.Nodes[k]
+		pDk := inst.ContributedPopularity(node.ID)
+		if pDk <= 0 {
+			continue
+		}
+		// p(D_i(k)) per cluster for this node.
+		perCluster := make(map[model.ClusterID]float64)
+		for _, di := range node.Contributed {
+			d := &inst.Catalog.Docs[di]
+			share := d.PopularityShare()
+			for _, cid := range d.Categories {
+				if cl := assign[cid]; cl != model.NoCluster {
+					perCluster[cl] += share
+				}
+			}
+		}
+		for cl, pDik := range perCluster {
+			units[cl] += node.Units * pDik / pDk
+		}
+	}
+	out := make([]float64, inst.NumClusters)
+	for c := range out {
+		switch {
+		case units[c] == 0 && pop[c] == 0:
+			out[c] = 0
+		case units[c] == 0:
+			out[c] = math.Inf(1)
+		default:
+			out[c] = pop[c] / units[c]
+		}
+	}
+	return out
+}
+
+func TestStateMatchesNaiveRecomputation(t *testing.T) {
+	inst := testInstance(t, 1)
+	st, err := NewState(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Random assignment, then compare against the from-scratch formula.
+	for c := 0; c < st.NumCategories(); c++ {
+		if err := st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := st.NormalizedPopularities()
+	want := naiveNormPops(inst, st.Assignment())
+	for c := range want {
+		if math.Abs(got[c]-want[c]) > 1e-9*math.Max(1, math.Abs(want[c])) {
+			t.Fatalf("cluster %d: engine x=%g, naive x=%g", c, got[c], want[c])
+		}
+	}
+	if f, fn := st.Fairness(), fairness.Jain(want); math.Abs(f-fn) > 1e-9 {
+		t.Fatalf("engine fairness %g != naive %g", f, fn)
+	}
+}
+
+func TestStateMatchesNaiveAfterMovesProperty(t *testing.T) {
+	inst := testInstance(t, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, err := NewState(inst)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < st.NumCategories(); c++ {
+			if err := st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters))); err != nil {
+				return false
+			}
+		}
+		// Random walk of moves and unassign/assign pairs.
+		for i := 0; i < 40; i++ {
+			cat := catalog.CategoryID(rng.Intn(st.NumCategories()))
+			switch rng.Intn(3) {
+			case 0:
+				if err := st.Move(cat, model.ClusterID(rng.Intn(inst.NumClusters))); err != nil {
+					return false
+				}
+			case 1:
+				if st.ClusterOf(cat) != model.NoCluster {
+					if err := st.Unassign(cat); err != nil {
+						return false
+					}
+				}
+			case 2:
+				if st.ClusterOf(cat) == model.NoCluster {
+					if err := st.Assign(cat, model.ClusterID(rng.Intn(inst.NumClusters))); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		got := st.NormalizedPopularities()
+		want := naiveNormPops(inst, st.Assignment())
+		for c := range want {
+			if math.Abs(got[c]-want[c]) > 1e-9*math.Max(1, math.Abs(want[c])) {
+				return false
+			}
+		}
+		return math.Abs(st.Fairness()-fairness.Jain(want)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeAssignMatchesApply(t *testing.T) {
+	inst := testInstance(t, 3)
+	st, _ := NewState(inst)
+	rng := rand.New(rand.NewSource(3))
+	for c := 0; c < st.NumCategories(); c++ {
+		cl := model.ClusterID(rng.Intn(inst.NumClusters))
+		probed := st.ProbeAssign(catalog.CategoryID(c), cl)
+		if err := st.Assign(catalog.CategoryID(c), cl); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Fairness(); math.Abs(probed-got) > 1e-9 {
+			t.Fatalf("cat %d: probe %g != applied %g", c, probed, got)
+		}
+	}
+}
+
+func TestProbeMoveMatchesApply(t *testing.T) {
+	inst := testInstance(t, 4)
+	st, _ := NewState(inst)
+	rng := rand.New(rand.NewSource(4))
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	for i := 0; i < 100; i++ {
+		cat := catalog.CategoryID(rng.Intn(st.NumCategories()))
+		to := model.ClusterID(rng.Intn(inst.NumClusters))
+		probed := st.ProbeMove(cat, to)
+		if err := st.Move(cat, to); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Fairness(); math.Abs(probed-got) > 1e-9 {
+			t.Fatalf("move %d: probe %g != applied %g", i, probed, got)
+		}
+	}
+}
+
+func TestProbeMoveSameClusterIsIdentity(t *testing.T) {
+	inst := testInstance(t, 5)
+	st, _ := NewState(inst)
+	st.Assign(0, 3)
+	if got, want := st.ProbeMove(0, 3), st.Fairness(); got != want {
+		t.Errorf("ProbeMove to same cluster = %g, want current %g", got, want)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	inst := testInstance(t, 6)
+	st, _ := NewState(inst)
+	if err := st.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Assign(0, 1); err == nil {
+		t.Error("double assign should fail")
+	}
+	if err := st.Assign(catalog.CategoryID(st.NumCategories()), 0); err == nil {
+		t.Error("unknown category should fail")
+	}
+	if err := st.Assign(1, model.ClusterID(inst.NumClusters)); err == nil {
+		t.Error("unknown cluster should fail")
+	}
+	if err := st.Unassign(1); err == nil {
+		t.Error("unassign of unassigned should fail")
+	}
+	if err := st.Unassign(0); err != nil {
+		t.Fatal(err)
+	}
+	if st.ClusterOf(0) != model.NoCluster {
+		t.Error("unassign did not clear assignment")
+	}
+}
+
+func TestUnassignRestoresFairness(t *testing.T) {
+	inst := testInstance(t, 7)
+	st, _ := NewState(inst)
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < st.NumCategories()/2; c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	before := st.Fairness()
+	cat := catalog.CategoryID(st.NumCategories() / 2)
+	st.Assign(cat, 0)
+	st.Unassign(cat)
+	if after := st.Fairness(); math.Abs(before-after) > 1e-9 {
+		t.Errorf("assign+unassign changed fairness %g -> %g", before, after)
+	}
+}
+
+func TestMostLoadedCluster(t *testing.T) {
+	inst := testInstance(t, 8)
+	st, _ := NewState(inst)
+	rng := rand.New(rand.NewSource(8))
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	hot := st.MostLoadedCluster()
+	xs := st.NormalizedPopularities()
+	for c, x := range xs {
+		if x > xs[hot] {
+			t.Fatalf("cluster %d (x=%g) hotter than reported %d (x=%g)", c, x, hot, xs[hot])
+		}
+	}
+}
+
+func TestCategoriesIn(t *testing.T) {
+	inst := testInstance(t, 9)
+	st, _ := NewState(inst)
+	st.Assign(3, 5)
+	st.Assign(7, 5)
+	st.Assign(1, 2)
+	got := st.CategoriesIn(5)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("CategoriesIn(5) = %v, want [3 7]", got)
+	}
+	if len(st.CategoriesIn(9)) != 0 {
+		t.Error("empty cluster should list no categories")
+	}
+}
+
+func TestSetCategoryPopularity(t *testing.T) {
+	inst := testInstance(t, 10)
+	st, _ := NewState(inst)
+	st.Assign(0, 0)
+	st.Assign(1, 1)
+	st.SetCategoryPopularity(0, 0.5)
+	if got := st.CategoryPopularity(0); got != 0.5 {
+		t.Fatalf("CategoryPopularity = %g, want 0.5", got)
+	}
+	// Engine must stay consistent with naive recomputation through the
+	// changed popularity: check cluster x directly.
+	xs := st.NormalizedPopularities()
+	wantX := 0.5 / st.CategoryUnits(0)
+	if math.Abs(xs[0]-wantX) > 1e-9 {
+		t.Errorf("x[0] = %g, want %g", xs[0], wantX)
+	}
+	if err := st.SetCategoryPopularity(0, -1); err == nil {
+		t.Error("negative popularity should fail")
+	}
+	if err := st.SetCategoryPopularity(catalog.CategoryID(st.NumCategories()), 0.1); err == nil {
+		t.Error("unknown category should fail")
+	}
+	// Unassigned categories update silently.
+	if err := st.SetCategoryPopularity(5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if st.CategoryPopularity(5) != 0.25 {
+		t.Error("unassigned category popularity not updated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	inst := testInstance(t, 11)
+	st, _ := NewState(inst)
+	st.Assign(0, 0)
+	cl := st.Clone()
+	cl.Assign(1, 1)
+	if st.ClusterOf(1) != model.NoCluster {
+		t.Error("clone mutation leaked into original")
+	}
+	if math.Abs(st.Fairness()-fairness.Jain(st.NormalizedPopularities())) > 1e-9 {
+		t.Error("original fairness inconsistent after clone")
+	}
+	if math.Abs(cl.Fairness()-fairness.Jain(cl.NormalizedPopularities())) > 1e-9 {
+		t.Error("clone fairness inconsistent")
+	}
+}
+
+func TestRebuildPreservesAssignment(t *testing.T) {
+	inst := testInstance(t, 12)
+	st, _ := NewState(inst)
+	rng := rand.New(rand.NewSource(12))
+	for c := 0; c < st.NumCategories(); c++ {
+		st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(inst.NumClusters)))
+	}
+	before := st.Assignment()
+	// Perturb the catalog, then rebuild.
+	if _, err := inst.Catalog.AddDocuments(100, 0.3, 0.8, rng); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range inst.Catalog.Docs[len(inst.Catalog.Docs)-100:] {
+		if err := inst.AttachDocument(d.ID, model.NodeID(rng.Intn(len(inst.Nodes)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Rebuild(inst); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Assignment()
+	for c := range before {
+		if before[c] != after[c] {
+			t.Fatalf("category %d reassigned by Rebuild: %d -> %d", c, before[c], after[c])
+		}
+	}
+	// Fairness must equal the naive evaluation of the old assignment on
+	// the new catalog.
+	want := fairness.Jain(naiveNormPops(inst, after))
+	if got := st.Fairness(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("rebuilt fairness %g != naive %g", got, want)
+	}
+}

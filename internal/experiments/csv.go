@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters: one per experiment, mirroring the renderers, so figure
+// data can feed external plotting. Each writes a header row then data.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// ClusterSeriesCSV writes cluster,normalized_popularity rows (Figures 2/3).
+func ClusterSeriesCSV(w io.Writer, s *ClusterSeries) error {
+	rows := make([][]string, len(s.NormPops))
+	for c, x := range s.NormPops {
+		rows[c] = []string{d(c), f(x)}
+	}
+	return writeCSV(w, []string{"cluster", "normalized_popularity"}, rows)
+}
+
+// Figure4CSV writes theta,initial,final rows.
+func Figure4CSV(w io.Writer, pts []Figure4Point) error {
+	rows := make([][]string, len(pts))
+	for i, p := range pts {
+		rows[i] = []string{f(p.Theta), f(p.Initial), f(p.Final)}
+	}
+	return writeCSV(w, []string{"theta", "initial_fairness", "final_fairness"}, rows)
+}
+
+// Figure5CSV writes run,move,fairness rows (one row per trajectory point).
+func Figure5CSV(w io.Writer, runs []Figure5Run) error {
+	var rows [][]string
+	for r, run := range runs {
+		for m, fair := range run.Trajectory {
+			rows = append(rows, []string{d(r + 1), d(m), f(fair)})
+		}
+	}
+	return writeCSV(w, []string{"run", "reassigned_categories", "fairness"}, rows)
+}
+
+// ScalingCSV writes clusters,categories,fairness rows.
+func ScalingCSV(w io.Writer, sr []ScalingRow) error {
+	rows := make([][]string, len(sr))
+	for i, r := range sr {
+		rows[i] = []string{d(r.Clusters), d(r.Categories), f(r.Fairness)}
+	}
+	return writeCSV(w, []string{"clusters", "categories", "fairness"}, rows)
+}
+
+// CoverageCSV writes theta,docs,top_fraction rows.
+func CoverageCSV(w io.Writer, cr []CoverageRow) error {
+	rows := make([][]string, len(cr))
+	for i, r := range cr {
+		rows[i] = []string{f(r.Theta), d(r.Docs), f(r.TopFraction)}
+	}
+	return writeCSV(w, []string{"theta", "docs", "top_fraction_for_35pct"}, rows)
+}
+
+// AssignersCSV writes assigner,fairness,max_over_mean rows.
+func AssignersCSV(w io.Writer, ar []AssignerRow) error {
+	rows := make([][]string, len(ar))
+	for i, r := range ar {
+		rows[i] = []string{string(r.Name), f(r.Fairness), f(r.MaxOverMean)}
+	}
+	return writeCSV(w, []string{"assigner", "fairness", "max_over_mean"}, rows)
+}
+
+// RoutingCSV writes system,hops,messages,success rows.
+func RoutingCSV(w io.Writer, rr []RoutingRow) error {
+	rows := make([][]string, len(rr))
+	for i, r := range rr {
+		rows[i] = []string{r.System, f(r.MeanHops), f(r.MeanMessages), f(r.SuccessRate)}
+	}
+	return writeCSV(w, []string{"system", "mean_hops", "mean_messages", "success_rate"}, rows)
+}
+
+// ReplicaCSV writes the hot-mass sweep.
+func ReplicaCSV(w io.Writer, rr []ReplicaBalanceRow) error {
+	rows := make([][]string, len(rr))
+	for i, r := range rr {
+		rows[i] = []string{
+			f(r.HotMass), f(r.MeanIntraFairness), f(r.MinIntraFairness),
+			strconv.FormatInt(r.MaxStoredBytes, 10), d(r.CapacityDrops),
+		}
+	}
+	return writeCSV(w, []string{"hot_mass", "mean_intra_fairness", "min_intra_fairness", "max_stored_bytes", "capacity_drops"}, rows)
+}
+
+// DynamicCSV writes per-epoch rows for both arms.
+func DynamicCSV(w io.Writer, with, without *DynamicResult) error {
+	var rows [][]string
+	emit := func(r *DynamicResult, arm string) {
+		for _, e := range r.Epochs {
+			rows = append(rows, []string{
+				arm, d(e.Epoch), f(e.MeasuredFairness), f(e.PlannedFairness),
+				d(e.Moves), f(e.TransferMB),
+			})
+		}
+	}
+	emit(without, "static")
+	emit(with, "adaptive")
+	return writeCSV(w, []string{"arm", "epoch", "measured_fairness", "planned_fairness", "moves", "transfer_mb"}, rows)
+}
+
+// ModesCSV writes the intra-cluster design comparison.
+func ModesCSV(w io.Writer, mr []ModeRow) error {
+	rows := make([][]string, len(mr))
+	for i, r := range mr {
+		rows[i] = []string{
+			r.Mode.String(), f(r.MeanHops), f(r.P95Hops), d(r.QueryMessages),
+			f(r.Completed), f(r.ServedFairness), f(r.TopServedShare),
+		}
+	}
+	return writeCSV(w, []string{"mode", "mean_hops", "p95_hops", "query_messages", "completed", "served_fairness", "top_served_share"}, rows)
+}
+
+// CacheCSV writes the cache extension study.
+func CacheCSV(w io.Writer, cr []CacheRow) error {
+	rows := make([][]string, len(cr))
+	for i, r := range cr {
+		rows[i] = []string{
+			r.Policy.String(), strconv.FormatInt(r.CacheMB, 10), f(r.HitRatio),
+			f(r.MeanHops), f(r.MeanResponseMs), d(r.NetworkQueries),
+		}
+	}
+	return writeCSV(w, []string{"policy", "cache_mb", "hit_ratio", "mean_hops", "mean_response_ms", "network_queries"}, rows)
+}
+
+// GapCSV writes instance,greedy,exact rows.
+func GapCSV(w io.Writer, gr []GapRow) error {
+	rows := make([][]string, len(gr))
+	for i, r := range gr {
+		rows[i] = []string{d(r.Instance), f(r.Greedy), f(r.Exact)}
+	}
+	return writeCSV(w, []string{"instance", "greedy_fairness", "exact_fairness"}, rows)
+}
+
+// OrderingCSV writes order,fairness rows.
+func OrderingCSV(w io.Writer, or []OrderingRow) error {
+	rows := make([][]string, len(or))
+	for i, r := range or {
+		rows[i] = []string{fmt.Sprint(r.Order), f(r.Fairness)}
+	}
+	return writeCSV(w, []string{"order", "fairness"}, rows)
+}

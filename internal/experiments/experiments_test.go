@@ -1,0 +1,598 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"p2pshare/internal/baseline"
+	"p2pshare/internal/core"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+)
+
+// The experiment tests check the *shape* of the paper's results at small
+// scale: who wins, roughly by how much, and where the thresholds sit.
+
+func TestFigure2ShapeMatchesPaper(t *testing.T) {
+	s, err := Figure2(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: achieved fairness = 0.981903 at full scale; >0.95 claimed
+	// for all tested cases.
+	if s.Fairness < 0.95 {
+		t.Errorf("figure2 fairness %g < 0.95", s.Fairness)
+	}
+	if len(s.NormPops) != ScaleSmall.Config().NumClusters {
+		t.Errorf("series has %d clusters", len(s.NormPops))
+	}
+	if err := checkSeriesPositive(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure3ShapeMatchesPaper(t *testing.T) {
+	s, err := Figure3(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 0.974958 at full scale.
+	if s.Fairness < 0.95 {
+		t.Errorf("figure3 fairness %g < 0.95", s.Fairness)
+	}
+	if err := checkSeriesPositive(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkSeriesPositive(s *ClusterSeries) error {
+	for c, x := range s.NormPops {
+		if x < 0 {
+			return &seriesErr{s.Name, c, x}
+		}
+	}
+	return nil
+}
+
+type seriesErr struct {
+	name string
+	c    int
+	x    float64
+}
+
+func (e *seriesErr) Error() string { return e.name + ": negative normalized popularity" }
+
+func TestFigure4RobustnessShape(t *testing.T) {
+	pts, err := Figure4(ScaleSmall, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.Initial < 0.95 {
+			t.Errorf("theta=%.1f initial fairness %g < 0.95", p.Theta, p.Initial)
+		}
+		if p.Final > p.Initial {
+			t.Errorf("theta=%.1f fairness improved under perturbation?! %g -> %g",
+				p.Theta, p.Initial, p.Final)
+		}
+		// Paper: worst case drops to 0.78. Allow slack at small scale but
+		// catch collapses.
+		if p.Final < 0.60 {
+			t.Errorf("theta=%.1f final fairness %g collapsed (paper worst case 0.78)", p.Theta, p.Final)
+		}
+	}
+}
+
+func TestFigure5ConvergesWithinFewMoves(t *testing.T) {
+	runs, err := Figure5(ScaleSmall, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	for i, r := range runs {
+		last := r.Trajectory[len(r.Trajectory)-1]
+		// Paper: 7–8 moves reach the 0.92 target. Small scale converges
+		// at least as fast; bound generously.
+		if last < 0.92 && r.Moves < 64 {
+			t.Errorf("run %d stalled at %g after %d moves", i, last, r.Moves)
+		}
+		// Paper reports 7–8 moves; our category-level upheaval can dig a
+		// deeper hole (some runs start below 0.7), so allow the same
+		// order of magnitude.
+		if r.Moves > 40 {
+			t.Errorf("run %d needed %d moves, paper reports 7-8", i, r.Moves)
+		}
+		// Trajectories are monotone non-decreasing.
+		for j := 1; j < len(r.Trajectory); j++ {
+			if r.Trajectory[j] < r.Trajectory[j-1]-1e-12 {
+				t.Errorf("run %d trajectory decreases at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestScalingTableShape(t *testing.T) {
+	rows, err := ScalingTable(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: >0.90 even for 50 clusters / 200 categories.
+		if r.Fairness < 0.90 {
+			t.Errorf("clusters=%d cats=%d fairness %g < 0.90", r.Clusters, r.Categories, r.Fairness)
+		}
+	}
+}
+
+func TestStorageExampleMatchesPaperNumbers(t *testing.T) {
+	r := StorageExample()
+	// Paper: size(s) = 20 GB per category (1000 × 5 × 4 MB = 20 000 MB).
+	if got := r.SizePerCategory; got != 20000<<20 {
+		t.Errorf("size per category = %d, want 20 000 MB", got)
+	}
+	// Paper: 100 MB base per node.
+	if got := r.BaseBytesPerNode; got != 100<<20 {
+		t.Errorf("base per node = %d, want 100 MB", got)
+	}
+	// Paper: 400 MB of hot replicas, 500 MB per category per node.
+	if got := r.HotBytesPerNode; got != 400<<20 {
+		t.Errorf("hot per node = %d, want 400 MB", got)
+	}
+	if got := r.PerCategoryPerNode; got != 500<<20 {
+		t.Errorf("per category per node = %d, want 500 MB", got)
+	}
+	// Paper: 4 categories per cluster on average, ~2 GB per node.
+	if r.CategoriesPerNode != 4 {
+		t.Errorf("categories per cluster = %g, want 4", r.CategoriesPerNode)
+	}
+	if got := r.TotalPerNode; got != 2000<<20 {
+		t.Errorf("total per node = %d, want 2000 MB", got)
+	}
+}
+
+func TestTransferExampleMatchesPaperNumbers(t *testing.T) {
+	r := TransferExample()
+	// Paper: 1000 docs × 4 MB × 2 replicas = 8 GB (8000 MB).
+	if got := r.BytesPerCategory; got != 8000<<20 {
+		t.Errorf("bytes per category = %d, want 8000 MB", got)
+	}
+	if got := r.BytesPerPair; got != 16<<20 {
+		t.Errorf("bytes per pair = %d, want 16 MB", got)
+	}
+	if r.PairsEngaged != 5000 {
+		t.Errorf("pairs = %d, want 5000", r.PairsEngaged)
+	}
+	// Paper: "an increase of 2.5% on the active users" (5000 pairs of
+	// 200k nodes; both ends of a pair are active).
+	if r.ActiveFraction < 0.024 || r.ActiveFraction > 0.051 {
+		t.Errorf("active fraction = %g, paper says 2.5%%", r.ActiveFraction)
+	}
+}
+
+func TestMassCoverageClaim(t *testing.T) {
+	for _, row := range MassCoverage() {
+		if row.Theta <= 0.85 && row.TopFraction >= 0.10 {
+			t.Errorf("theta=%.1f n=%d needs %.1f%% of docs for 35%% mass; paper claims <10%%",
+				row.Theta, row.Docs, row.TopFraction*100)
+		}
+	}
+}
+
+func TestAssignerComparisonMaxFairWins(t *testing.T) {
+	rows, err := AssignerComparison(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AssignerRow{}
+	for _, r := range rows {
+		byName[string(r.Name)] = r
+	}
+	mf := byName["maxfair"]
+	for _, name := range []string{"hash", "random", "round-robin"} {
+		if byName[name].Fairness >= mf.Fairness {
+			t.Errorf("%s fairness %g >= maxfair %g", name, byName[name].Fairness, mf.Fairness)
+		}
+	}
+	// The naive hash placement should show a pronounced hot spot.
+	if byName["hash"].MaxOverMean < 1.5 {
+		t.Errorf("hash max/mean %g suspiciously flat", byName["hash"].MaxOverMean)
+	}
+}
+
+func TestQueryHopsShape(t *testing.T) {
+	r, err := QueryHops(ScaleSmall, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed < r.Queries*9/10 {
+		t.Errorf("only %d of %d queries completed", r.Completed, r.Queries)
+	}
+	// "a response time within only a few hops for the common case" —
+	// with hot replicas the first contacted node usually answers.
+	if r.MeanHops > 3 {
+		t.Errorf("mean hops %g, paper promises a few", r.MeanHops)
+	}
+	if int(r.MaxHops) > r.LargestCluster+1 {
+		t.Errorf("max hops %g exceeds the worst-case bound %d", r.MaxHops, r.LargestCluster)
+	}
+	if r.IntraFairness < 0.4 {
+		t.Errorf("intra-cluster fairness %g too low", r.IntraFairness)
+	}
+}
+
+func TestRoutingComparisonShape(t *testing.T) {
+	rows, err := RoutingComparison(ScaleSmall, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	ours, chordRow, gnut := rows[0], rows[1], rows[2]
+	// The paper's architecture answers in fewer hops than Chord's
+	// O(log N) lookups.
+	if ours.MeanHops >= chordRow.MeanHops {
+		t.Errorf("ours %.2f hops >= chord %.2f", ours.MeanHops, chordRow.MeanHops)
+	}
+	// Flooding costs orders of magnitude more messages.
+	if gnut.MeanMessages < 10*ours.MeanMessages {
+		t.Errorf("gnutella messages %.1f not clearly worse than ours %.1f",
+			gnut.MeanMessages, ours.MeanMessages)
+	}
+	// Our success rate is high; Gnutella's TTL can miss rare content.
+	if ours.SuccessRate < 0.9 {
+		t.Errorf("our success rate %g < 0.9", ours.SuccessRate)
+	}
+}
+
+func TestDynamicAdaptationKeepsFairnessHigher(t *testing.T) {
+	const epochs = 4
+	// queriesPerEpoch 0 = the scale default (50 per cluster): the
+	// adaptation needs real signal; starving it makes the comparison
+	// about sampling noise, not the mechanism.
+	with, err := DynamicAdaptation(ScaleSmall, epochs, 0, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := DynamicAdaptation(ScaleSmall, epochs, 0, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Epochs) != epochs || len(without.Epochs) != epochs {
+		t.Fatal("wrong epoch counts")
+	}
+	// Epoch 0 workloads are identical (same seeds, adaptation hasn't run
+	// yet at measurement time).
+	e0w, e0n := with.Epochs[0].MeasuredFairness, without.Epochs[0].MeasuredFairness
+	if diff := e0w - e0n; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("epoch 0 should match: %g vs %g", e0w, e0n)
+	}
+	// The epoch-1 upheaval degrades the unadapted assignment permanently;
+	// adaptation must serve the shifted demand with fairer measured load
+	// by the final epoch. (Measured — hits over live capacity — is the
+	// quantity the adaptation optimizes; the planning formula weighs
+	// capacity by contributions, a different denominator.)
+	lastWith := with.Epochs[epochs-1].MeasuredFairness
+	lastWithout := without.Epochs[epochs-1].MeasuredFairness
+	if didAdapt(with) && lastWith <= lastWithout {
+		t.Errorf("final epoch measured fairness: adaptive %g <= static %g", lastWith, lastWithout)
+	}
+}
+
+func didAdapt(r *DynamicResult) bool {
+	for _, e := range r.Epochs {
+		if e.Moves > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRebalanceCostReportsTransfers(t *testing.T) {
+	r, err := RebalanceCost(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Moves == 0 {
+		t.Fatal("skewed workload should force moves")
+	}
+	if r.TransferCount > 0 {
+		if r.TransferMB <= 0 {
+			t.Error("transfers recorded but zero bytes")
+		}
+		if r.ActiveFraction <= 0 || r.ActiveFraction > 1 {
+			t.Errorf("active fraction %g out of range", r.ActiveFraction)
+		}
+	}
+}
+
+func TestOptimalityGapSmall(t *testing.T) {
+	rows, err := OptimalityGap(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Greedy > r.Exact+1e-9 {
+			t.Errorf("instance %d: greedy %g beats exact %g", r.Instance, r.Greedy, r.Exact)
+		}
+		// MaxFair should land close to optimal on easy tiny instances.
+		if r.Exact-r.Greedy > 0.10 {
+			t.Errorf("instance %d: gap %g unexpectedly large", r.Instance, r.Exact-r.Greedy)
+		}
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	rows, err := OrderingAblation(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fairness <= 0 || r.Fairness > 1 {
+			t.Errorf("order %v fairness %g out of range", r.Order, r.Fairness)
+		}
+	}
+}
+
+func TestReplicaBalanceSweep(t *testing.T) {
+	rows, err := ReplicaBalance(ScaleSmall, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// More hot replication must not hurt intra-cluster fairness.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.MeanIntraFairness < first.MeanIntraFairness-0.05 {
+		t.Errorf("hot replication degraded fairness: %g (hm=%.2f) -> %g (hm=%.2f)",
+			first.MeanIntraFairness, first.HotMass, last.MeanIntraFairness, last.HotMass)
+	}
+	// And must cost storage.
+	if last.MaxStoredBytes < first.MaxStoredBytes {
+		t.Errorf("hot replication reduced storage?!")
+	}
+}
+
+func TestModeComparisonShape(t *testing.T) {
+	rows, err := ModeComparison(ScaleSmall, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	flood, sp, ri := rows[0], rows[1], rows[2]
+	// Super peers answer in a constant two hops with full completion...
+	if sp.MeanHops != 2 || sp.Completed < 0.99 {
+		t.Errorf("super-peer: hops=%g completed=%g", sp.MeanHops, sp.Completed)
+	}
+	// ...but concentrate load (the §3.1 trade-off).
+	if sp.ServedFairness >= flood.ServedFairness {
+		t.Errorf("super-peer served fairness %g >= flood %g — concentration missing",
+			sp.ServedFairness, flood.ServedFairness)
+	}
+	if sp.TopServedShare <= flood.TopServedShare {
+		t.Errorf("super-peer top share %g <= flood %g", sp.TopServedShare, flood.TopServedShare)
+	}
+	// Routing indices save messages versus flooding at modest recall cost.
+	if ri.QueryMessages >= flood.QueryMessages {
+		t.Errorf("routing-index messages %d >= flood %d", ri.QueryMessages, flood.QueryMessages)
+	}
+	if ri.Completed < 0.6 {
+		t.Errorf("routing-index completion %g collapsed", ri.Completed)
+	}
+	// Super peers also need far fewer messages than flooding.
+	if sp.QueryMessages >= flood.QueryMessages/2 {
+		t.Errorf("super-peer messages %d not clearly below flood %d", sp.QueryMessages, flood.QueryMessages)
+	}
+}
+
+func TestConfigSweepShape(t *testing.T) {
+	rows, err := ConfigSweep(ScaleSmall, []int{6, 24, 96}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The §7(ii) tension: more clusters → fewer hops but harder balancing.
+	if rows[2].MeanHops >= rows[0].MeanHops {
+		t.Errorf("hops did not fall with more clusters: %g -> %g",
+			rows[0].MeanHops, rows[2].MeanHops)
+	}
+	if rows[2].Fairness >= rows[0].Fairness {
+		t.Errorf("fairness did not fall with more clusters: %g -> %g",
+			rows[0].Fairness, rows[2].Fairness)
+	}
+	for _, r := range rows {
+		if r.Fairness < 0.90 {
+			t.Errorf("clusters=%d fairness %g collapsed", r.Clusters, r.Fairness)
+		}
+	}
+}
+
+func TestPlacementComparisonShape(t *testing.T) {
+	rows, err := PlacementComparison(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	hot, prop := rows[0], rows[1]
+	// The §7(vii) finding: proportional replication achieves at least
+	// comparable intra-cluster fairness at a fraction of the storage.
+	if prop.TotalReplicas >= hot.TotalReplicas {
+		t.Errorf("proportional replicas %d >= hot-set %d", prop.TotalReplicas, hot.TotalReplicas)
+	}
+	if prop.MeanIntraFairness < hot.MeanIntraFairness-0.05 {
+		t.Errorf("proportional fairness %g much worse than hot-set %g",
+			prop.MeanIntraFairness, hot.MeanIntraFairness)
+	}
+	if prop.MaxStoredMB >= hot.MaxStoredMB {
+		t.Errorf("proportional max storage %g >= hot-set %g", prop.MaxStoredMB, hot.MaxStoredMB)
+	}
+}
+
+func TestMaxFairUnderMajorization(t *testing.T) {
+	// The paper's §4.2 note: "In our current work we revisit the issue of
+	// fairness using majorization that has been shown to be stricter than
+	// other fairness metrics such as the fairness index." Under the
+	// majorization partial order, a fairer allocation is majorized by a
+	// less fair one. MaxFair's allocation must never majorize a
+	// baseline's (that would make it strictly less fair); baselines may
+	// majorize MaxFair's or be incomparable.
+	cfg := ScaleSmall.Config()
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := core.MaxFair(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	majorizedBy := 0
+	for _, name := range []baseline.Name{baseline.NameHash, baseline.NameRandom, baseline.NameRoundRobin} {
+		res, err := baseline.Run(name, inst, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fairness.Majorizes(mf.NormalizedPopularities, res.NormalizedPopularities) {
+			t.Errorf("MaxFair majorizes %s — strictly less fair under the strict order", name)
+		}
+		if fairness.Majorizes(res.NormalizedPopularities, mf.NormalizedPopularities) {
+			majorizedBy++
+		}
+	}
+	if majorizedBy == 0 {
+		t.Log("all baselines incomparable to MaxFair under majorization (allowed; the order is partial)")
+	}
+}
+
+func TestMetricAgreementShape(t *testing.T) {
+	r, err := MetricAgreement(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	// MaxFair (row 0) must rank fairest under EVERY metric — the §7(v)
+	// conclusion that matters: metric choice may flip adjacent baselines
+	// but never the headline result.
+	for metric, order := range r.Orders {
+		if order[0] != 0 {
+			t.Errorf("metric %s ranks %s fairest, not maxfair", metric, r.Rows[order[0]].Assigner)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Gini < 0 || row.Gini >= 1 || row.Theil < 0 || row.Atkinson < 0 || row.Atkinson >= 1 {
+			t.Errorf("metric out of range: %+v", row)
+		}
+	}
+}
+
+func TestGranularityStudyShape(t *testing.T) {
+	rows, err := GranularityStudy(ScaleSmall, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Unsplit, the flash topic caps fairness well below target.
+	if rows[0].Fairness > 0.85 {
+		t.Errorf("unsplit fairness %g — the cap is missing", rows[0].Fairness)
+	}
+	// Splitting recovers substantially.
+	last := rows[len(rows)-1]
+	if last.Fairness < rows[0].Fairness+0.15 {
+		t.Errorf("splitting gained only %g -> %g", rows[0].Fairness, last.Fairness)
+	}
+}
+
+func TestCacheEffectShape(t *testing.T) {
+	rows, err := CacheEffect(ScaleSmall, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	off := rows[0]
+	if off.CacheMB != 0 || off.HitRatio != 0 {
+		t.Errorf("baseline row wrong: %+v", off)
+	}
+	// Bigger caches: monotone non-decreasing hit ratio, non-increasing
+	// hops and network traffic (within the LRU rows).
+	prev := off
+	for _, r := range rows[1:4] {
+		if r.HitRatio < prev.HitRatio-1e-9 {
+			t.Errorf("hit ratio fell: %v -> %v", prev, r)
+		}
+		if r.MeanHops > prev.MeanHops+1e-9 {
+			t.Errorf("hops rose with more cache: %v -> %v", prev, r)
+		}
+		if r.NetworkQueries > prev.NetworkQueries {
+			t.Errorf("traffic rose with more cache: %v -> %v", prev, r)
+		}
+		prev = r
+	}
+	// With a Zipf workload a 256MB cache must absorb a meaningful share.
+	if rows[2].HitRatio < 0.2 {
+		t.Errorf("256MB hit ratio %g < 0.2", rows[2].HitRatio)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var b strings.Builder
+	s, err := Figure2(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderClusterSeries(&b, s)
+	if !strings.Contains(b.String(), "achieved fairness") {
+		t.Error("cluster series render missing caption")
+	}
+	b.Reset()
+	RenderStorageExample(&b, StorageExample())
+	if !strings.Contains(b.String(), "500") {
+		t.Error("storage render missing the 500 MB result")
+	}
+	b.Reset()
+	RenderTransferExample(&b, TransferExample())
+	if !strings.Contains(b.String(), "16.0 MB") {
+		t.Errorf("transfer render missing the 16 MB result: %s", b.String())
+	}
+	b.Reset()
+	RenderCoverage(&b, MassCoverage())
+	if !strings.Contains(b.String(), "theta") {
+		t.Error("coverage render missing header")
+	}
+}
+
+func TestVerifyFairnessConsistencyOnFigure2(t *testing.T) {
+	cfg := ScaleSmall.Config()
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MaxFair(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFairnessConsistency(res); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/core"
+	"p2pshare/internal/model"
+)
+
+// GranularityRow is one step of the §7(vi) category-splitting study.
+type GranularityRow struct {
+	// Pieces the hot category's demand is divided into (1 = unsplit).
+	Pieces int
+	// Fairness reached by MaxFair_Reassign at this granularity.
+	Fairness float64
+	// Moves the rebalancer needed.
+	Moves int
+}
+
+// GranularityStudy addresses the paper's §7(vi) open question ("the
+// optimal granularity — whether nodes, documents, or whole categories
+// should be moved").
+//
+// At the *planning* level the §4.3.3 formulation self-balances: a
+// category's contributors bring capacity proportional to its content, so
+// even a 30%-share category places fine. The granularity limit binds in
+// *measured* load states — the ones the §6.1 adaptation actually
+// rebalances — where demand (hit counters) is decoupled from stored
+// capacity: a flash topic can concentrate most of the demand in one
+// category, and no assignment of whole categories can split that demand
+// across clusters, capping the achievable fairness well below 1.
+//
+// Splitting the category (refining the document grouping, which the
+// paper's hash-based grouping permits) divides its demand and lets
+// MaxFair_Reassign spread the pieces. Each row splits the hot demand into
+// more pieces and re-runs the rebalancer on the measured state.
+func GranularityStudy(scale Scale, maxPieces int, seed int64) ([]GranularityRow, error) {
+	if maxPieces <= 0 {
+		maxPieces = 8
+	}
+	cfg := scale.Config()
+	cfg.Seed = seed
+	cfg.NumClusters = 12
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.MaxFair(inst, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	planner := res.State
+
+	// The measured demand: the hottest category takes hotShare of all
+	// hits (a flash topic); the rest follow their planned popularity.
+	const hotShare = 0.6
+	hot := largestCategory(inst)
+	nCats := inst.CatCount()
+
+	out := make([]GranularityRow, 0, maxPieces)
+	for pieces := 1; pieces <= maxPieces; pieces++ {
+		// Build the measured state: the hot category's demand and unit
+		// mass divided into `pieces` synthetic subcategories (what
+		// catalog.SplitCategory produces after the §6.2 republish),
+		// everything else as planned.
+		catPop := make([]float64, nCats+pieces-1)
+		catUnits := make([]float64, nCats+pieces-1)
+		assign := make([]model.ClusterID, nCats+pieces-1)
+		var coldMass float64
+		for c := 0; c < nCats; c++ {
+			if catalog.CategoryID(c) != hot {
+				coldMass += planner.CategoryPopularity(catalog.CategoryID(c))
+			}
+		}
+		for c := 0; c < nCats; c++ {
+			cid := catalog.CategoryID(c)
+			assign[c] = res.Assignment[c]
+			if cid == hot {
+				catPop[c] = hotShare / float64(pieces)
+				catUnits[c] = planner.CategoryUnits(cid) / float64(pieces)
+				continue
+			}
+			if coldMass > 0 {
+				catPop[c] = (1 - hotShare) * planner.CategoryPopularity(cid) / coldMass
+			}
+			catUnits[c] = planner.CategoryUnits(cid)
+		}
+		for piece := 1; piece < pieces; piece++ {
+			c := nCats + piece - 1
+			catPop[c] = hotShare / float64(pieces)
+			catUnits[c] = planner.CategoryUnits(hot) / float64(pieces)
+			assign[c] = res.Assignment[hot] // splits start where the parent lives
+		}
+		st, err := core.NewStateFromMeasurements(cfg.NumClusters, catPop, catUnits, assign)
+		if err != nil {
+			return nil, err
+		}
+		moves, err := core.MaxFairReassign(st, core.ReassignOptions{TargetFairness: 0.95, MaxMoves: 64})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GranularityRow{Pieces: pieces, Fairness: st.Fairness(), Moves: len(moves)})
+	}
+	return out, nil
+}
+
+func largestCategory(inst *model.Instance) catalog.CategoryID {
+	best := catalog.CategoryID(0)
+	for i := range inst.Catalog.Cats {
+		if inst.Catalog.Cats[i].Popularity > inst.Catalog.Cats[best].Popularity {
+			best = catalog.CategoryID(i)
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"p2pshare/internal/baseline"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+)
+
+// MetricRow scores one assigner under every fairness metric (§7 v).
+type MetricRow struct {
+	Assigner baseline.Name
+	Jain     float64 // 1 = fair
+	Gini     float64 // 0 = fair
+	Theil    float64 // 0 = fair
+	Atkinson float64 // 0 = fair (ε = 0.5)
+}
+
+// MetricAgreementResult is the §7(v) study: scores plus whether the
+// metrics rank the assigners identically.
+type MetricAgreementResult struct {
+	Rows []MetricRow
+	// Agreement is true when Jain, Gini, Theil, and Atkinson produce the
+	// same fairest-to-least-fair ordering of the assigners.
+	Agreement bool
+	// Orders lists each metric's ordering (indices into Rows).
+	Orders map[string][]int
+}
+
+// MetricAgreement addresses §7(v) ("alternative definitions/metrics for
+// fairness"): score the same five assignments under Jain's index, Gini,
+// Theil, and Atkinson(0.5), and check whether the choice of metric would
+// change any conclusion. (The CoV is omitted — it is provably equivalent
+// to Jain, see internal/core/objective.go.)
+func MetricAgreement(scale Scale, seed int64) (*MetricAgreementResult, error) {
+	cfg := scale.Config()
+	cfg.Seed = seed
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := []baseline.Name{
+		baseline.NameMaxFair, baseline.NameLPT, baseline.NameHash,
+		baseline.NameRandom, baseline.NameRoundRobin,
+	}
+	res := &MetricAgreementResult{Orders: make(map[string][]int)}
+	var negJain, gini, theil, atk []float64
+	for _, name := range names {
+		r, err := baseline.Run(name, inst, rng)
+		if err != nil {
+			return nil, err
+		}
+		xs := r.NormalizedPopularities
+		row := MetricRow{
+			Assigner: name,
+			Jain:     fairness.Jain(xs),
+			Gini:     fairness.Gini(xs),
+			Theil:    fairness.Theil(xs),
+			Atkinson: fairness.Atkinson(xs, 0.5),
+		}
+		res.Rows = append(res.Rows, row)
+		negJain = append(negJain, -row.Jain) // smaller = fairer, like the rest
+		gini = append(gini, row.Gini)
+		theil = append(theil, row.Theil)
+		atk = append(atk, row.Atkinson)
+	}
+	res.Orders["jain"] = fairness.Rank(negJain)
+	res.Orders["gini"] = fairness.Rank(gini)
+	res.Orders["theil"] = fairness.Rank(theil)
+	res.Orders["atkinson"] = fairness.Rank(atk)
+	res.Agreement = true
+	ref := res.Orders["jain"]
+	for _, order := range res.Orders {
+		for i := range ref {
+			if order[i] != ref[i] {
+				res.Agreement = false
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderClusterSeries prints a Figure 2/3-style report: the fairness index
+// and a bar per cluster.
+func RenderClusterSeries(w io.Writer, s *ClusterSeries) {
+	fmt.Fprintf(w, "%s — achieved fairness = %.6f\n", s.Name, s.Fairness)
+	max := 0.0
+	for _, x := range s.NormPops {
+		if x > max {
+			max = x
+		}
+	}
+	for c, x := range s.NormPops {
+		bar := 0
+		if max > 0 {
+			bar = int(40 * x / max)
+		}
+		fmt.Fprintf(w, "cluster %3d | %-40s %.3e\n", c, strings.Repeat("▇", bar), x)
+	}
+}
+
+// RenderFigure4 prints the θ sweep as the paper's initial/final pairs.
+func RenderFigure4(w io.Writer, pts []Figure4Point) {
+	fmt.Fprintf(w, "figure4 — fairness before/after +30%% popularity mass (no re-run)\n")
+	fmt.Fprintf(w, "%-8s %-12s %-12s\n", "theta", "initial", "final")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8.1f %-12.5f %-12.5f\n", p.Theta, p.Initial, p.Final)
+	}
+}
+
+// RenderFigure5 prints each run's fairness trajectory.
+func RenderFigure5(w io.Writer, runs []Figure5Run) {
+	fmt.Fprintf(w, "figure5 — MaxFair_Reassign trajectories (target fairness 0.92)\n")
+	for i, r := range runs {
+		fmt.Fprintf(w, "run %d (%d moves):", i+1, r.Moves)
+		for _, f := range r.Trajectory {
+			fmt.Fprintf(w, " %.4f", f)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderScaling prints the fairness-vs-size grid.
+func RenderScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintf(w, "scaling — fairness vs clusters × categories\n")
+	fmt.Fprintf(w, "%-10s %-12s %-10s\n", "clusters", "categories", "fairness")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-12d %-10.5f\n", r.Clusters, r.Categories, r.Fairness)
+	}
+}
+
+// RenderStorageExample prints the §4.3.3 worked example.
+func RenderStorageExample(w io.Writer, r StorageExampleResult) {
+	fmt.Fprintf(w, "storage example (§4.3.3): %d docs, %d nodes, %d categories, %d clusters\n",
+		r.Docs, r.Nodes, r.Categories, r.Clusters)
+	fmt.Fprintf(w, "  size(s) = %d × %d × %s = %s per category\n",
+		r.DocsPerCategory, r.NReps, mb(r.DocSize), mb(r.SizePerCategory))
+	fmt.Fprintf(w, "  base per node      = %s\n", mb(r.BaseBytesPerNode))
+	fmt.Fprintf(w, "  hot docs per node  = %s\n", mb(r.HotBytesPerNode))
+	fmt.Fprintf(w, "  per category/node  = %s (paper: 500 MB)\n", mb(r.PerCategoryPerNode))
+	fmt.Fprintf(w, "  categories/cluster = %.1f\n", r.CategoriesPerNode)
+	fmt.Fprintf(w, "  total per node     = %s (paper: ~2 GB)\n", mb(r.TotalPerNode))
+}
+
+// RenderTransferExample prints the §6.1.3 worked example.
+func RenderTransferExample(w io.Writer, r TransferExampleResult) {
+	fmt.Fprintf(w, "transfer example (§6.1.3): %d nodes, %d clusters of %d\n",
+		r.Nodes, r.Clusters, r.NodesPerCluster)
+	fmt.Fprintf(w, "  per category   = %s (paper: 8 GB)\n", mb(r.BytesPerCategory))
+	fmt.Fprintf(w, "  per node pair  = %s (paper: 16 MB)\n", mb(r.BytesPerPair))
+	fmt.Fprintf(w, "  pairs engaged  = %d (paper: 5000)\n", r.PairsEngaged)
+	fmt.Fprintf(w, "  active nodes   = %.1f%% (paper: 2.5%% as transfer increase)\n", r.ActiveFraction*100)
+}
+
+// RenderCoverage prints the §4.3.3 mass-coverage verification.
+func RenderCoverage(w io.Writer, rows []CoverageRow) {
+	fmt.Fprintf(w, "mass coverage — top docs needed for 35%% of probability mass (paper: <10%%)\n")
+	fmt.Fprintf(w, "%-8s %-10s %-10s\n", "theta", "docs", "top-frac")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8.1f %-10d %-10.4f\n", r.Theta, r.Docs, r.TopFraction)
+	}
+}
+
+// RenderAssigners prints the assigner comparison.
+func RenderAssigners(w io.Writer, rows []AssignerRow) {
+	fmt.Fprintf(w, "assigner comparison — inter-cluster fairness\n")
+	fmt.Fprintf(w, "%-14s %-10s %-12s\n", "assigner", "fairness", "max/mean")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10.5f %-12.2f\n", r.Name, r.Fairness, r.MaxOverMean)
+	}
+}
+
+// RenderQueryHops prints the §3.3 response-time experiment.
+func RenderQueryHops(w io.Writer, r *QueryHopsResult) {
+	fmt.Fprintf(w, "query processing (§3.3): %d queries, %d completed, %d failed\n",
+		r.Queries, r.Completed, r.Failed)
+	fmt.Fprintf(w, "  hops: mean=%.2f p95=%.0f max=%.0f (worst-case bound: cluster size %d)\n",
+		r.MeanHops, r.P95Hops, r.MaxHops, r.LargestCluster)
+	fmt.Fprintf(w, "  response: mean=%.0f ms p95=%.0f ms\n", r.MeanResponseMs, r.P95ResponseMs)
+	fmt.Fprintf(w, "  intra-cluster served-load fairness: %.4f\n", r.IntraFairness)
+}
+
+// RenderRouting prints the routing comparison.
+func RenderRouting(w io.Writer, rows []RoutingRow) {
+	fmt.Fprintf(w, "object location comparison\n")
+	fmt.Fprintf(w, "%-28s %-10s %-12s %-10s\n", "system", "hops", "messages", "success")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-10.2f %-12.1f %-10.3f\n", r.System, r.MeanHops, r.MeanMessages, r.SuccessRate)
+	}
+}
+
+// RenderDynamic prints the end-to-end dynamic run: per epoch, the planned
+// (ground truth) assignment fairness of both arms, the adaptive arm's
+// measured fairness, and its rebalancing activity.
+func RenderDynamic(w io.Writer, with, without *DynamicResult) {
+	fmt.Fprintf(w, "dynamic adaptation (§6): flash crowd at epoch 1, persistent\n")
+	fmt.Fprintf(w, "%-8s %-16s %-16s %-12s %-8s %-10s\n",
+		"epoch", "planned(static)", "planned(adapt)", "measured", "moves", "xfer MB")
+	for i := range with.Epochs {
+		we := with.Epochs[i]
+		var base string
+		if i < len(without.Epochs) {
+			base = fmt.Sprintf("%.4f", without.Epochs[i].PlannedFairness)
+		}
+		fmt.Fprintf(w, "%-8d %-16s %-16.4f %-12.4f %-8d %-10.1f\n",
+			we.Epoch, base, we.PlannedFairness, we.MeasuredFairness, we.Moves, we.TransferMB)
+	}
+}
+
+// RenderRebalanceCost prints the live transfer accounting.
+func RenderRebalanceCost(w io.Writer, r *RebalanceCostResult) {
+	fmt.Fprintf(w, "rebalancing cost (lazy protocol, live overlay)\n")
+	fmt.Fprintf(w, "  measured=%.4f moves=%d transfers=%d total=%.1f MB mean=%.2f MB/pair active=%.2f%%\n",
+		r.MeasuredFairness, r.Moves, r.TransferCount, r.TransferMB, r.MeanTransferMB, r.ActiveFraction*100)
+	fmt.Fprintf(w, "  all transfers completed %.1f s after the round began (10 MB/s links)\n",
+		r.CompletionSeconds)
+}
+
+// RenderModes prints the intra-cluster design comparison.
+func RenderModes(w io.Writer, rows []ModeRow) {
+	fmt.Fprintf(w, "intra-cluster designs (§3.1): flood vs super-peer vs routing-index\n")
+	fmt.Fprintf(w, "%-15s %-8s %-8s %-10s %-10s %-12s %-10s\n",
+		"mode", "hops", "p95", "messages", "completed", "served-fair", "top-share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %-8.2f %-8.0f %-10d %-10.3f %-12.4f %-10.4f\n",
+			r.Mode, r.MeanHops, r.P95Hops, r.QueryMessages, r.Completed,
+			r.ServedFairness, r.TopServedShare)
+	}
+}
+
+// RenderConfigSweep prints the §7(ii) cluster-count sweep.
+func RenderConfigSweep(w io.Writer, rows []ConfigRow) {
+	fmt.Fprintf(w, "configuration sweep (§7 ii): clusters vs nodes-per-cluster\n")
+	fmt.Fprintf(w, "%-10s %-14s %-10s %-8s %-8s %-12s\n",
+		"clusters", "mean members", "fairness", "hops", "p95", "max stored")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-14.1f %-10.5f %-8.2f %-8.0f %-12.1f\n",
+			r.Clusters, r.MeanClusterMembers, r.Fairness, r.MeanHops, r.P95Hops, r.MaxStoredMB)
+	}
+}
+
+// RenderPlacement prints the §7(vii) placement-policy comparison.
+func RenderPlacement(w io.Writer, rows []PlacementRow) {
+	fmt.Fprintf(w, "placement policies (§7 vii): hot-set vs proportional\n")
+	fmt.Fprintf(w, "%-24s %-16s %-16s %-12s %-12s %-8s\n",
+		"policy", "mean intra-fair", "min intra-fair", "max stored", "replicas", "drops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-16.4f %-16.4f %-12.1f %-12d %-8d\n",
+			r.Policy, r.MeanIntraFairness, r.MinIntraFairness, r.MaxStoredMB, r.TotalReplicas, r.CapacityDrops)
+	}
+}
+
+// RenderMetricAgreement prints the §7(v) fairness-metric study.
+func RenderMetricAgreement(w io.Writer, r *MetricAgreementResult) {
+	fmt.Fprintf(w, "fairness metrics (§7 v): do Jain/Gini/Theil/Atkinson agree?\n")
+	fmt.Fprintf(w, "%-14s %-10s %-10s %-10s %-12s\n", "assigner", "jain", "gini", "theil", "atkinson0.5")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-10.5f %-10.5f %-10.5f %-12.5f\n",
+			row.Assigner, row.Jain, row.Gini, row.Theil, row.Atkinson)
+	}
+	fmt.Fprintf(w, "identical fairest-to-least-fair ordering: %v\n", r.Agreement)
+}
+
+// RenderGranularity prints the §7(vi) category-splitting study.
+func RenderGranularity(w io.Writer, rows []GranularityRow) {
+	fmt.Fprintf(w, "rebalancing granularity (§7 vi): splitting a flash-topic category\n")
+	fmt.Fprintf(w, "%-8s %-10s %-8s\n", "pieces", "fairness", "moves")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-10.4f %-8d\n", r.Pieces, r.Fairness, r.Moves)
+	}
+}
+
+// RenderCache prints the §7(viii) cache extension study.
+func RenderCache(w io.Writer, rows []CacheRow) {
+	fmt.Fprintf(w, "document caching (§7 viii extension) — per-peer result caches\n")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-12s %-12s\n",
+		"policy", "cache MB", "hit ratio", "hops", "resp ms", "net queries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10d %-10.3f %-10.2f %-12.0f %-12d\n",
+			r.Policy, r.CacheMB, r.HitRatio, r.MeanHops, r.MeanResponseMs, r.NetworkQueries)
+	}
+}
+
+// RenderGap prints the MaxFair-vs-exact table.
+func RenderGap(w io.Writer, rows []GapRow) {
+	fmt.Fprintf(w, "optimality gap — greedy MaxFair vs exhaustive search (tiny instances)\n")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-8s\n", "instance", "greedy", "exact", "gap")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-12.5f %-12.5f %-8.5f\n", r.Instance, r.Greedy, r.Exact, r.Exact-r.Greedy)
+	}
+}
+
+// RenderOrdering prints the category-order ablation.
+func RenderOrdering(w io.Writer, rows []OrderingRow) {
+	fmt.Fprintf(w, "ablation — MaxFair category consideration order\n")
+	fmt.Fprintf(w, "%-18s %-10s\n", "order", "fairness")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-10.5f\n", r.Order, r.Fairness)
+	}
+}
+
+// RenderReplica prints the hot-mass sweep.
+func RenderReplica(w io.Writer, rows []ReplicaBalanceRow) {
+	fmt.Fprintf(w, "replica placement (§4.3.3) — hot-mass sweep\n")
+	fmt.Fprintf(w, "%-10s %-16s %-16s %-14s %-8s\n", "hot-mass", "mean intra-fair", "min intra-fair", "max stored", "drops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10.2f %-16.4f %-16.4f %-14s %-8d\n",
+			r.HotMass, r.MeanIntraFairness, r.MinIntraFairness, mb(r.MaxStoredBytes), r.CapacityDrops)
+	}
+}
+
+func mb(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

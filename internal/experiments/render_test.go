@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p2pshare/internal/baseline"
+	"p2pshare/internal/cache"
+	"p2pshare/internal/core"
+	"p2pshare/internal/overlay"
+)
+
+// Fabricated fixtures exercising every renderer and CSV emitter: the
+// harness's reporting layer must never crash or emit malformed tables,
+// whatever the data.
+
+func fixtures() (series *ClusterSeries, f4 []Figure4Point, f5 []Figure5Run,
+	scal []ScalingRow, cov []CoverageRow, asg []AssignerRow, rout []RoutingRow,
+	rep []ReplicaBalanceRow, dyn *DynamicResult, gaps []GapRow, ords []OrderingRow,
+	modes []ModeRow, cr []CacheRow, conf []ConfigRow, plc []PlacementRow,
+	gran []GranularityRow) {
+	series = &ClusterSeries{Name: "fixture", Fairness: 0.98, NormPops: []float64{0.1, 0.2, 0}}
+	f4 = []Figure4Point{{Theta: 0.4, Initial: 0.99, Final: 0.85}}
+	f5 = []Figure5Run{{Trajectory: []float64{0.8, 0.9, 0.93}, Moves: 2}}
+	scal = []ScalingRow{{Clusters: 50, Categories: 200, Fairness: 0.97}}
+	cov = []CoverageRow{{Theta: 0.8, Docs: 1000, TopFraction: 0.02}}
+	asg = []AssignerRow{{Name: baseline.NameMaxFair, Fairness: 0.99, MaxOverMean: 1.1}}
+	rout = []RoutingRow{{System: "x", MeanHops: 1.5, MeanMessages: 2.5, SuccessRate: 1}}
+	rep = []ReplicaBalanceRow{{HotMass: 0.35, MeanIntraFairness: 0.9, MinIntraFairness: 0.8,
+		MaxStoredBytes: 5 << 20, CapacityDrops: 3}}
+	dyn = &DynamicResult{Adaptive: true, Epochs: []DynamicEpoch{
+		{Epoch: 0, MeasuredFairness: 0.9, PlannedFairness: 0.95, AfterFairness: 0.9},
+		{Epoch: 1, MeasuredFairness: 0.7, PlannedFairness: 0.8, AfterFairness: 0.85, Moves: 3, TransferMB: 12},
+	}}
+	gaps = []GapRow{{Instance: 0, Greedy: 0.98, Exact: 0.99}}
+	ords = []OrderingRow{{Order: core.OrderPopularityDesc, Fairness: 0.99}}
+	modes = []ModeRow{{Mode: overlay.ModeFlood, MeanHops: 1.9, P95Hops: 4,
+		QueryMessages: 1000, Completed: 0.95, ServedFairness: 0.7, TopServedShare: 0.01}}
+	cr = []CacheRow{{Policy: cache.LRU, CacheMB: 256, HitRatio: 0.4, MeanHops: 0.8,
+		MeanResponseMs: 60, NetworkQueries: 500}}
+	conf = []ConfigRow{{Clusters: 24, MeanClusterMembers: 100, Fairness: 0.99,
+		MeanHops: 1.8, P95Hops: 4, MaxStoredMB: 500}}
+	plc = []PlacementRow{{Policy: "hot-set", MeanIntraFairness: 0.86, MinIntraFairness: 0.8,
+		MaxStoredMB: 700, TotalReplicas: 1000, CapacityDrops: 0}}
+	gran = []GranularityRow{{Pieces: 1, Fairness: 0.65, Moves: 10}}
+	return
+}
+
+func TestAllRenderers(t *testing.T) {
+	series, f4, f5, scal, cov, asg, rout, rep, dyn, gaps, ords, modes, cr, conf, plc, gran := fixtures()
+	var b strings.Builder
+	RenderClusterSeries(&b, series)
+	RenderFigure4(&b, f4)
+	RenderFigure5(&b, f5)
+	RenderScaling(&b, scal)
+	RenderStorageExample(&b, StorageExample())
+	RenderTransferExample(&b, TransferExample())
+	RenderCoverage(&b, cov)
+	RenderAssigners(&b, asg)
+	RenderQueryHops(&b, &QueryHopsResult{Queries: 10, Completed: 9, MeanHops: 1.5})
+	RenderRouting(&b, rout)
+	RenderReplica(&b, rep)
+	RenderDynamic(&b, dyn, dyn)
+	RenderRebalanceCost(&b, &RebalanceCostResult{Moves: 2, TransferCount: 5, TransferMB: 10})
+	RenderGap(&b, gaps)
+	RenderOrdering(&b, ords)
+	RenderModes(&b, modes)
+	RenderCache(&b, cr)
+	RenderConfigSweep(&b, conf)
+	RenderPlacement(&b, plc)
+	RenderGranularity(&b, gran)
+	RenderMetricAgreement(&b, &MetricAgreementResult{
+		Rows:      []MetricRow{{Assigner: baseline.NameMaxFair, Jain: 0.99}},
+		Agreement: true,
+		Orders:    map[string][]int{"jain": {0}},
+	})
+	out := b.String()
+	for _, want := range []string{
+		"fixture", "figure4", "figure5", "scaling", "storage example",
+		"transfer example", "mass coverage", "assigner comparison",
+		"query processing", "object location", "hot-mass sweep",
+		"dynamic adaptation", "rebalancing cost", "optimality gap",
+		"consideration order", "intra-cluster designs", "document caching",
+		"configuration sweep", "placement policies", "granularity",
+		"fairness metrics",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestAllCSVEmitters(t *testing.T) {
+	series, f4, f5, scal, cov, asg, rout, rep, dyn, gaps, ords, modes, cr, _, _, _ := fixtures()
+	emitters := []struct {
+		name string
+		run  func(*strings.Builder) error
+	}{
+		{"series", func(b *strings.Builder) error { return ClusterSeriesCSV(b, series) }},
+		{"figure4", func(b *strings.Builder) error { return Figure4CSV(b, f4) }},
+		{"figure5", func(b *strings.Builder) error { return Figure5CSV(b, f5) }},
+		{"scaling", func(b *strings.Builder) error { return ScalingCSV(b, scal) }},
+		{"coverage", func(b *strings.Builder) error { return CoverageCSV(b, cov) }},
+		{"assigners", func(b *strings.Builder) error { return AssignersCSV(b, asg) }},
+		{"routing", func(b *strings.Builder) error { return RoutingCSV(b, rout) }},
+		{"replica", func(b *strings.Builder) error { return ReplicaCSV(b, rep) }},
+		{"dynamic", func(b *strings.Builder) error { return DynamicCSV(b, dyn, dyn) }},
+		{"gap", func(b *strings.Builder) error { return GapCSV(b, gaps) }},
+		{"ordering", func(b *strings.Builder) error { return OrderingCSV(b, ords) }},
+		{"modes", func(b *strings.Builder) error { return ModesCSV(b, modes) }},
+		{"cache", func(b *strings.Builder) error { return CacheCSV(b, cr) }},
+	}
+	for _, e := range emitters {
+		var b strings.Builder
+		if err := e.run(&b); err != nil {
+			t.Errorf("%s: %v", e.name, err)
+			continue
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: no data rows", e.name)
+			continue
+		}
+		// Every row has the header's column count.
+		cols := strings.Count(lines[0], ",")
+		for i, l := range lines[1:] {
+			if strings.Count(l, ",") != cols {
+				t.Errorf("%s row %d: column count mismatch: %q", e.name, i, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package fairness implements fairness metrics for load distributions.
+//
+// The central metric is the fairness index of Jain, Chiu and Hawe
+// (DEC-TR-301, 1984), which the paper adopts as its load-balancing
+// objective (paper §4.2):
+//
+//	fairness(x) = (Σ x_i)² / (n · Σ x_i²)
+//
+// The index is always in [0, 1]; 1 means a perfectly even allocation and a
+// value of f roughly means the allocation is fair for a fraction f of the
+// individuals. The package also provides the incremental Tracker used by
+// the MaxFair algorithms to evaluate candidate assignments in O(1), plus
+// auxiliary metrics (coefficient of variation, min/max ratio, Lorenz curve,
+// majorization) referenced by the paper's discussion of fairness [24, 25].
+package fairness
+
+import (
+	"math"
+	"sort"
+)
+
+// Jain returns the Jain/Chiu/Hawe fairness index of xs.
+//
+// By convention an empty or all-zero allocation is perfectly fair: every
+// individual holds the same (zero) amount, so Jain returns 1.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+	}
+	if sum2 == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sum2)
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of xs, a common
+// alternative dispersion metric. It returns 0 for empty or zero-mean input.
+func CoV(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// MinMaxRatio returns min(xs)/max(xs), the crudest balance indicator.
+// It returns 1 for empty input and 0 when max is 0 but some... max==0 implies
+// all zero (loads are non-negative), which reports 1.
+func MinMaxRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return min / max
+}
+
+// Lorenz returns the Lorenz curve of xs: point i (1-indexed fractions) is
+// the cumulative share of the total held by the smallest i values. The
+// result has len(xs) points and is non-decreasing with Lorenz[n-1] == 1
+// (for a non-zero total). A perfectly fair allocation yields the diagonal.
+func Lorenz(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var total float64
+	for _, x := range sorted {
+		total += x
+	}
+	out := make([]float64, len(sorted))
+	if total == 0 {
+		// Degenerate: report the diagonal (perfect equality of zeros).
+		for i := range out {
+			out[i] = float64(i+1) / float64(len(sorted))
+		}
+		return out
+	}
+	var cum float64
+	for i, x := range sorted {
+		cum += x
+		out[i] = cum / total
+	}
+	return out
+}
+
+// Majorizes reports whether allocation a majorizes allocation b: both are
+// normalized to unit total and compared by descending prefix sums. If a
+// majorizes b, then b is at least as fair as a under every Schur-convex
+// unfairness measure — the stricter comparison the paper's follow-up work
+// adopts from Bhargava/Goel/Meyerson [24]. Slices must have equal length;
+// mismatched lengths report false.
+func Majorizes(a, b []float64) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	pa := descendingNormalized(a)
+	pb := descendingNormalized(b)
+	if pa == nil || pb == nil {
+		return false
+	}
+	var ca, cb float64
+	for i := range pa {
+		ca += pa[i]
+		cb += pb[i]
+		// Prefix sums of a must dominate those of b (within fp slack).
+		if ca < cb-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func descendingNormalized(xs []float64) []float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	if total == 0 {
+		return nil
+	}
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Tracker maintains the Jain fairness index of a fixed-size allocation
+// under point updates in O(1). It is the workhorse behind MaxFair's
+// candidate evaluation: Probe answers "what would the index become if
+// element i changed from old to new" without mutating state.
+type Tracker struct {
+	n    int
+	sum  float64
+	sum2 float64
+}
+
+// NewTracker returns a tracker over n individuals all starting at 0.
+func NewTracker(n int) *Tracker {
+	return &Tracker{n: n}
+}
+
+// NewTrackerFrom returns a tracker primed with the given allocation.
+func NewTrackerFrom(xs []float64) *Tracker {
+	t := &Tracker{n: len(xs)}
+	for _, x := range xs {
+		t.sum += x
+		t.sum2 += x * x
+	}
+	return t
+}
+
+// N returns the number of individuals tracked.
+func (t *Tracker) N() int { return t.n }
+
+// Update records that one individual's value changed from old to new.
+func (t *Tracker) Update(old, new float64) {
+	t.sum += new - old
+	t.sum2 += new*new - old*old
+}
+
+// Index returns the current fairness index.
+func (t *Tracker) Index() float64 {
+	return jainFromSums(t.n, t.sum, t.sum2)
+}
+
+// Probe returns the fairness index that would result if one individual's
+// value changed from old to new, without applying the change.
+func (t *Tracker) Probe(old, new float64) float64 {
+	return jainFromSums(t.n, t.sum+new-old, t.sum2+new*new-old*old)
+}
+
+// Probe2 returns the fairness index that would result from two simultaneous
+// point changes (used when moving a category between two clusters).
+func (t *Tracker) Probe2(old1, new1, old2, new2 float64) float64 {
+	sum := t.sum + new1 - old1 + new2 - old2
+	sum2 := t.sum2 + new1*new1 - old1*old1 + new2*new2 - old2*old2
+	return jainFromSums(t.n, sum, sum2)
+}
+
+func jainFromSums(n int, sum, sum2 float64) float64 {
+	if n == 0 || sum2 <= 0 {
+		return 1
+	}
+	f := sum * sum / (float64(n) * sum2)
+	// Guard against fp drift pushing the index a hair outside [0, 1].
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}

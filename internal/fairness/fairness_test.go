@@ -1,0 +1,316 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// sanitize maps an arbitrary quick-generated float into a well-behaved
+// non-negative load value (no NaN/Inf, bounded magnitude so x² can't
+// overflow and swamp the summations).
+func sanitize(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 1
+	}
+	return math.Mod(math.Abs(v), 1e6)
+}
+
+func TestJainUniformIsOne(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 3.7
+		}
+		if f := Jain(xs); !almostEqual(f, 1, 1e-12) {
+			t.Errorf("Jain(uniform %d) = %g, want 1", n, f)
+		}
+	}
+}
+
+func TestJainSingleHolder(t *testing.T) {
+	// One individual holds everything: index should be 1/n.
+	xs := make([]float64, 10)
+	xs[3] = 42
+	if f := Jain(xs); !almostEqual(f, 0.1, 1e-12) {
+		t.Errorf("Jain(single holder of 10) = %g, want 0.1", f)
+	}
+}
+
+func TestJainEdgeCases(t *testing.T) {
+	if f := Jain(nil); f != 1 {
+		t.Errorf("Jain(nil) = %g, want 1", f)
+	}
+	if f := Jain([]float64{0, 0, 0}); f != 1 {
+		t.Errorf("Jain(zeros) = %g, want 1", f)
+	}
+	if f := Jain([]float64{5}); f != 1 {
+		t.Errorf("Jain(one element) = %g, want 1", f)
+	}
+}
+
+func TestJainKnownValue(t *testing.T) {
+	// Classic example from Jain/Chiu/Hawe: x = (1,1,1,0,...) over n.
+	// f = k/n when k of n individuals share equally and the rest get 0.
+	xs := []float64{1, 1, 1, 0, 0}
+	if f := Jain(xs); !almostEqual(f, 0.6, 1e-12) {
+		t.Errorf("Jain(3 of 5 equal) = %g, want 0.6", f)
+	}
+}
+
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		j := Jain(xs)
+		return j >= 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainScaleInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		c := 0.1 + r.Float64()*100
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+			ys[i] = xs[i] * c
+		}
+		return almostEqual(Jain(xs), Jain(ys), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainLowerBoundIsOneOverN(t *testing.T) {
+	// For non-negative allocations with positive total, Jain >= 1/n.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		xs[rng.Intn(n)] += 0.5 // ensure positive total
+		if f := Jain(xs); f < 1/float64(n)-1e-12 {
+			t.Fatalf("Jain = %g < 1/n = %g for %v", f, 1/float64(n), xs)
+		}
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if c := CoV([]float64{5, 5, 5}); !almostEqual(c, 0, 1e-12) {
+		t.Errorf("CoV(uniform) = %g, want 0", c)
+	}
+	// x = {0, 2}: mean 1, stddev 1 -> CoV 1.
+	if c := CoV([]float64{0, 2}); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("CoV({0,2}) = %g, want 1", c)
+	}
+	if c := CoV(nil); c != 0 {
+		t.Errorf("CoV(nil) = %g, want 0", c)
+	}
+}
+
+func TestMinMaxRatio(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 4}, 0.25},
+		{[]float64{3, 3}, 1},
+		{[]float64{0, 0}, 1},
+		{nil, 1},
+		{[]float64{0, 5}, 0},
+	}
+	for _, c := range cases {
+		if got := MinMaxRatio(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("MinMaxRatio(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLorenz(t *testing.T) {
+	l := Lorenz([]float64{1, 1, 2})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if !almostEqual(l[i], want[i], 1e-12) {
+			t.Errorf("Lorenz[%d] = %g, want %g", i, l[i], want[i])
+		}
+	}
+	if Lorenz(nil) != nil {
+		t.Error("Lorenz(nil) should be nil")
+	}
+	zero := Lorenz([]float64{0, 0})
+	if !almostEqual(zero[0], 0.5, 1e-12) || !almostEqual(zero[1], 1, 1e-12) {
+		t.Errorf("Lorenz(zeros) = %v, want diagonal", zero)
+	}
+}
+
+func TestLorenzMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		l := Lorenz(xs)
+		for i := 1; i < len(l); i++ {
+			if l[i] < l[i-1]-1e-12 {
+				return false
+			}
+		}
+		if n := len(l); n > 0 && !almostEqual(l[n-1], 1, 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorizes(t *testing.T) {
+	// (1,0) majorizes (0.5,0.5): the concentrated allocation dominates.
+	if !Majorizes([]float64{1, 0}, []float64{0.5, 0.5}) {
+		t.Error("concentrated should majorize uniform")
+	}
+	if Majorizes([]float64{0.5, 0.5}, []float64{1, 0}) {
+		t.Error("uniform should not majorize concentrated")
+	}
+	// Every allocation majorizes itself.
+	if !Majorizes([]float64{3, 1, 2}, []float64{1, 2, 3}) {
+		t.Error("permutations should majorize each other")
+	}
+	if Majorizes([]float64{1}, []float64{1, 0}) {
+		t.Error("length mismatch should be false")
+	}
+	if Majorizes([]float64{0, 0}, []float64{0, 0}) {
+		t.Error("zero totals cannot be compared")
+	}
+}
+
+func TestMajorizesImpliesLowerJain(t *testing.T) {
+	// If a majorizes b (and they're not permutations), Jain(a) <= Jain(b):
+	// Jain is Schur-concave. Verify on random pairs built by transfers.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64() + 0.01
+		}
+		// Robin Hood in reverse: move mass from a poorer to a richer index
+		// to construct a that majorizes b.
+		a := append([]float64(nil), b...)
+		lo, hi := 0, 0
+		for i := range a {
+			if a[i] < a[lo] {
+				lo = i
+			}
+			if a[i] > a[hi] {
+				hi = i
+			}
+		}
+		if lo == hi {
+			continue
+		}
+		d := a[lo] * rng.Float64()
+		a[lo] -= d
+		a[hi] += d
+		if !Majorizes(a, b) {
+			t.Fatalf("constructed a should majorize b: a=%v b=%v", a, b)
+		}
+		if Jain(a) > Jain(b)+1e-9 {
+			t.Fatalf("majorizing allocation should have lower Jain: %g > %g", Jain(a), Jain(b))
+		}
+	}
+}
+
+func TestTrackerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		tr := NewTracker(n)
+		for step := 0; step < 50; step++ {
+			i := rng.Intn(n)
+			nv := rng.Float64() * 10
+			tr.Update(xs[i], nv)
+			xs[i] = nv
+			if got, want := tr.Index(), Jain(xs); !almostEqual(got, want, 1e-9) {
+				t.Fatalf("tracker index %g != batch %g after %d steps", got, want, step)
+			}
+		}
+	}
+}
+
+func TestTrackerFrom(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tr := NewTrackerFrom(xs)
+	if got, want := tr.Index(), Jain(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("NewTrackerFrom index = %g, want %g", got, want)
+	}
+	if tr.N() != 4 {
+		t.Errorf("N = %d, want 4", tr.N())
+	}
+}
+
+func TestTrackerProbeDoesNotMutate(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	tr := NewTrackerFrom(xs)
+	before := tr.Index()
+	got := tr.Probe(2, 9)
+	xs2 := []float64{1, 9, 3}
+	if want := Jain(xs2); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Probe = %g, want %g", got, want)
+	}
+	if after := tr.Index(); !almostEqual(before, after, 1e-15) {
+		t.Errorf("Probe mutated tracker: %g -> %g", before, after)
+	}
+}
+
+func TestTrackerProbe2(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tr := NewTrackerFrom(xs)
+	got := tr.Probe2(2, 5, 4, 1)
+	want := Jain([]float64{1, 5, 3, 1})
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("Probe2 = %g, want %g", got, want)
+	}
+}
+
+func TestTrackerProbeEqualsUpdateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		tr := NewTrackerFrom(xs)
+		i := r.Intn(n)
+		nv := r.Float64() * 5
+		probed := tr.Probe(xs[i], nv)
+		tr.Update(xs[i], nv)
+		return almostEqual(probed, tr.Index(), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package fairness
+
+import (
+	"math"
+	"sort"
+)
+
+// Alternative fairness/inequality metrics for the paper's §7(v) open
+// question ("alternative definitions/metrics for fairness and related
+// algorithms"). All follow the economics conventions: 0 = perfect
+// equality; larger = more unequal. Jain's index runs the other way
+// (1 = fair), so comparisons in the experiments convert as needed.
+
+// Gini returns the Gini coefficient of xs (0 = equality, →1 = one holder
+// takes all). Negative values are not meaningful for loads; inputs are
+// assumed non-negative. Empty or zero-total input returns 0.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var total, weighted float64
+	for i, x := range sorted {
+		total += x
+		weighted += float64(i+1) * x
+	}
+	if total == 0 {
+		return 0
+	}
+	// G = (2·Σ i·x_(i))/(n·Σx) − (n+1)/n
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// Theil returns the Theil T index (0 = equality, ln(n) = one holder takes
+// all). Zero entries contribute zero (lim x→0 of x·ln x = 0).
+func Theil(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := total / float64(n)
+	var t float64
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		r := x / mean
+		t += r * math.Log(r)
+	}
+	return t / float64(n)
+}
+
+// Atkinson returns the Atkinson index with inequality aversion epsilon
+// (commonly 0.5 or 1). 0 = equality; →1 = maximal inequality. epsilon
+// must be positive; epsilon = 1 uses the geometric-mean form. Zero
+// entries with epsilon >= 1 drive the index to 1 (a zero allocation is
+// maximally unequal under strong aversion).
+func Atkinson(xs []float64, epsilon float64) float64 {
+	n := len(xs)
+	if n == 0 || epsilon <= 0 {
+		return 0
+	}
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := total / float64(n)
+	if epsilon == 1 {
+		// 1 − (Π x_i)^(1/n) / mean
+		var logSum float64
+		for _, x := range xs {
+			if x <= 0 {
+				return 1
+			}
+			logSum += math.Log(x)
+		}
+		return 1 - math.Exp(logSum/float64(n))/mean
+	}
+	var s float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		s += math.Pow(x, 1-epsilon)
+	}
+	ede := math.Pow(s/float64(n), 1/(1-epsilon))
+	return 1 - ede/mean
+}
+
+// Rank orders allocation indices from fairest to least fair under a
+// metric where SMALLER is fairer (Gini/Theil/Atkinson) — pass negated
+// Jain values to rank by Jain. Ties keep input order.
+func Rank(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	return idx
+}

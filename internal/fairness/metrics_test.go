@@ -1,0 +1,146 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almostEqual(g, 0, 1e-12) {
+		t.Errorf("Gini(uniform) = %g", g)
+	}
+	// One of n holds all: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 8}); !almostEqual(g, 0.75, 1e-12) {
+		t.Errorf("Gini(single holder of 4) = %g, want 0.75", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("Gini(nil) = %g", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("Gini(zeros) = %g", g)
+	}
+}
+
+func TestTheilKnownValues(t *testing.T) {
+	if th := Theil([]float64{2, 2, 2}); !almostEqual(th, 0, 1e-12) {
+		t.Errorf("Theil(uniform) = %g", th)
+	}
+	// One of n holds all: T = ln(n).
+	if th := Theil([]float64{0, 0, 0, 4}); !almostEqual(th, math.Log(4), 1e-12) {
+		t.Errorf("Theil(single of 4) = %g, want ln4=%g", th, math.Log(4))
+	}
+}
+
+func TestAtkinsonKnownValues(t *testing.T) {
+	if a := Atkinson([]float64{3, 3, 3}, 0.5); !almostEqual(a, 0, 1e-12) {
+		t.Errorf("Atkinson(uniform) = %g", a)
+	}
+	if a := Atkinson([]float64{3, 3, 3}, 1); !almostEqual(a, 0, 1e-12) {
+		t.Errorf("Atkinson eps=1 (uniform) = %g", a)
+	}
+	// A zero entry under eps=1 drives the index to 1.
+	if a := Atkinson([]float64{0, 5}, 1); a != 1 {
+		t.Errorf("Atkinson eps=1 with zero = %g, want 1", a)
+	}
+	if a := Atkinson([]float64{1, 2}, 0); a != 0 {
+		t.Errorf("Atkinson eps=0 = %g, want 0 (invalid aversion)", a)
+	}
+}
+
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		g := Gini(xs)
+		th := Theil(xs)
+		a := Atkinson(xs, 0.5)
+		return g >= -1e-12 && g < 1 &&
+			th >= -1e-12 && th <= math.Log(float64(n))+1e-9 &&
+			a >= -1e-12 && a < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		c := 0.1 + rng.Float64()*50
+		for i := range xs {
+			xs[i] = rng.Float64() + 0.01
+			ys[i] = xs[i] * c
+		}
+		return almostEqual(Gini(xs), Gini(ys), 1e-9) &&
+			almostEqual(Theil(xs), Theil(ys), 1e-9) &&
+			almostEqual(Atkinson(xs, 0.5), Atkinson(ys, 0.5), 1e-9) &&
+			almostEqual(Atkinson(xs, 1), Atkinson(ys, 1), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferPrincipleProperty(t *testing.T) {
+	// Pigou–Dalton: moving load from a lighter to a heavier holder must
+	// not decrease any inequality metric (and must not increase Jain).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(15)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() + 0.05
+		}
+		lo, hi := 0, 0
+		for i := range xs {
+			if xs[i] < xs[lo] {
+				lo = i
+			}
+			if xs[i] > xs[hi] {
+				hi = i
+			}
+		}
+		if lo == hi {
+			continue
+		}
+		ys := append([]float64(nil), xs...)
+		d := ys[lo] * rng.Float64() * 0.9
+		ys[lo] -= d
+		ys[hi] += d
+		if Gini(ys) < Gini(xs)-1e-9 {
+			t.Fatalf("Gini fell after regressive transfer")
+		}
+		if Theil(ys) < Theil(xs)-1e-9 {
+			t.Fatalf("Theil fell after regressive transfer")
+		}
+		if Atkinson(ys, 0.5) < Atkinson(xs, 0.5)-1e-9 {
+			t.Fatalf("Atkinson fell after regressive transfer")
+		}
+		if Jain(ys) > Jain(xs)+1e-9 {
+			t.Fatalf("Jain rose after regressive transfer")
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	// Smaller is fairer: scores 0.3, 0.1, 0.2 rank as 1, 2, 0.
+	got := Rank([]float64{0.3, 0.1, 0.2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", got, want)
+		}
+	}
+	if len(Rank(nil)) != 0 {
+		t.Error("Rank(nil) should be empty")
+	}
+}

@@ -1,0 +1,110 @@
+// Package gnutella models an unstructured Gnutella-style overlay with
+// TTL-bounded flooding search — the response-time comparison point of the
+// paper (§2): "requests are passed from peer to peer, until either one is
+// found that stores the desired document(s), or a user-determined
+// 'number-of-hops' count is reached and the system gives up."
+package gnutella
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Overlay is a random connected overlay of n nodes with average degree d.
+type Overlay struct {
+	adj [][]int
+}
+
+// New builds a connected random overlay: a ring (connectivity) plus random
+// chords up to the requested degree, mirroring measured Gnutella
+// topologies' low diameter.
+func New(n, degree int, rng *rand.Rand) (*Overlay, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gnutella: need at least 2 nodes, got %d", n)
+	}
+	if degree < 2 {
+		return nil, fmt.Errorf("gnutella: degree must be >= 2, got %d", degree)
+	}
+	o := &Overlay{adj: make([][]int, n)}
+	link := func(a, b int) {
+		if a == b {
+			return
+		}
+		for _, x := range o.adj[a] {
+			if x == b {
+				return
+			}
+		}
+		o.adj[a] = append(o.adj[a], b)
+		o.adj[b] = append(o.adj[b], a)
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		for len(o.adj[i]) < degree {
+			link(i, rng.Intn(n))
+		}
+	}
+	return o, nil
+}
+
+// N returns the node count.
+func (o *Overlay) N() int { return len(o.adj) }
+
+// Neighbors returns a node's adjacency list (live slice; do not mutate).
+func (o *Overlay) Neighbors(n int) []int { return o.adj[n] }
+
+// SearchResult reports one flooding search.
+type SearchResult struct {
+	// Found is true if any holder was reached within the TTL.
+	Found bool
+	// Hops is the hop count at which the first holder was reached
+	// (meaningful only when Found).
+	Hops int
+	// Messages is the total number of query messages sent — the
+	// flooding cost.
+	Messages int
+	// Reached is the number of distinct nodes that processed the query.
+	Reached int
+}
+
+// Search floods a query from start with the given TTL, looking for any
+// node in holders. It performs a breadth-first traversal, which is exactly
+// what synchronized flooding with duplicate suppression delivers.
+func (o *Overlay) Search(start, ttl int, holders map[int]bool) SearchResult {
+	res := SearchResult{}
+	if holders[start] {
+		return SearchResult{Found: true, Hops: 0, Messages: 0, Reached: 1}
+	}
+	visited := make([]bool, len(o.adj))
+	visited[start] = true
+	res.Reached = 1
+	frontier := []int{start}
+	for depth := 1; depth <= ttl && len(frontier) > 0; depth++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range o.adj[u] {
+				res.Messages++ // every forwarded copy costs a message
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				res.Reached++
+				if holders[v] && !res.Found {
+					res.Found = true
+					res.Hops = depth
+					// Keep flooding this depth: Gnutella has no
+					// early-termination broadcast; the remaining copies
+					// of this wave were already sent.
+				}
+				next = append(next, v)
+			}
+		}
+		if res.Found {
+			return res
+		}
+		frontier = next
+	}
+	return res
+}

@@ -1,0 +1,146 @@
+package gnutella
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(1, 4, rng); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := New(10, 1, rng); err == nil {
+		t.Error("degree=1 should fail")
+	}
+}
+
+func TestOverlayConnectedAndDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o, err := New(500, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum degree met.
+	for i := 0; i < o.N(); i++ {
+		if len(o.Neighbors(i)) < 6 {
+			t.Fatalf("node %d has degree %d", i, len(o.Neighbors(i)))
+		}
+	}
+	// Connected: BFS from 0 reaches everyone.
+	visited := make([]bool, o.N())
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range o.Neighbors(u) {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != o.N() {
+		t.Errorf("BFS reached %d of %d nodes", count, o.N())
+	}
+}
+
+func TestSearchFindsHolder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o, err := New(300, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := map[int]bool{250: true}
+	res := o.Search(0, 20, holders)
+	if !res.Found {
+		t.Fatal("large TTL should find the holder in a connected overlay")
+	}
+	if res.Hops < 1 || res.Hops > 20 {
+		t.Errorf("hops = %d", res.Hops)
+	}
+	if res.Messages == 0 {
+		t.Error("flooding should cost messages")
+	}
+}
+
+func TestSearchHolderIsStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	o, _ := New(50, 4, rng)
+	res := o.Search(7, 5, map[int]bool{7: true})
+	if !res.Found || res.Hops != 0 || res.Messages != 0 {
+		t.Errorf("self-hit result = %+v", res)
+	}
+}
+
+func TestSearchTTLGivesUp(t *testing.T) {
+	// Paper §2: "a user-determined 'number-of-hops' count is reached and
+	// the system gives up." A rare doc behind the TTL horizon is missed.
+	rng := rand.New(rand.NewSource(5))
+	o, err := New(2000, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a node far from 0 with a short BFS: anything not reached
+	// within 2 hops.
+	res2 := o.Search(0, 2, map[int]bool{})
+	far := -1
+	visited := make(map[int]bool)
+	_ = res2
+	// Recompute reachability within 2 hops.
+	frontier := []int{0}
+	visited[0] = true
+	for d := 0; d < 2; d++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range o.Neighbors(u) {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	for i := 0; i < o.N(); i++ {
+		if !visited[i] {
+			far = i
+			break
+		}
+	}
+	if far == -1 {
+		t.Skip("overlay too dense for a 2-hop horizon")
+	}
+	if res := o.Search(0, 2, map[int]bool{far: true}); res.Found {
+		t.Error("TTL-bounded search should miss a holder beyond the horizon")
+	}
+	if res := o.Search(0, o.N(), map[int]bool{far: true}); !res.Found {
+		t.Error("unbounded search should find it")
+	}
+}
+
+func TestSearchMessageBlowup(t *testing.T) {
+	// Flooding cost grows with TTL even for misses.
+	rng := rand.New(rand.NewSource(6))
+	o, _ := New(1000, 5, rng)
+	none := map[int]bool{}
+	m2 := o.Search(0, 2, none).Messages
+	m6 := o.Search(0, 6, none).Messages
+	if m6 <= m2 {
+		t.Errorf("messages: ttl2=%d ttl6=%d — should grow", m2, m6)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	o1, _ := New(200, 4, rand.New(rand.NewSource(7)))
+	o2, _ := New(200, 4, rand.New(rand.NewSource(7)))
+	h := map[int]bool{150: true}
+	a := o1.Search(3, 10, h)
+	b := o2.Search(3, 10, h)
+	if a != b {
+		t.Errorf("same seed produced %+v vs %+v", a, b)
+	}
+}

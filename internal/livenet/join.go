@@ -1,0 +1,235 @@
+package livenet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/core"
+	"p2pshare/internal/model"
+	"p2pshare/internal/overlay"
+	"p2pshare/internal/replica"
+)
+
+// Dynamic membership over TCP: a standalone peer joins an existing live
+// deployment knowing only one member's address. The content model is NOT
+// shipped over the wire — every participant reconstructs the identical
+// instance (catalog, balancing, placement) from the shared seed and shape
+// parameters, exactly as deterministic generation guarantees; the
+// handshake only exchanges the one thing that differs per deployment: the
+// address book.
+
+func init() {
+	gob.Register(helloMsg{})
+	gob.Register(bookMsg{})
+}
+
+// helloMsg announces a (re)joining node and its listen address.
+type helloMsg struct {
+	ID   model.NodeID
+	Addr string
+}
+
+// bookMsg shares the sender's address book.
+type bookMsg struct {
+	Book map[model.NodeID]string
+}
+
+// Shape are the deterministic-generation parameters every process of one
+// deployment must share (put them on the command line of each p2pnode).
+type Shape struct {
+	Documents  int
+	Categories int
+	Nodes      int
+	Clusters   int
+	Seed       int64
+}
+
+// Build reconstructs the deployment's model: instance, MaxFair
+// assignment, and replica placement — identical in every process that
+// uses the same Shape.
+func (sh Shape) Build() (*model.Instance, []model.ClusterID, *replica.Placement, error) {
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = sh.Documents
+	cfg.Catalog.NumCats = sh.Categories
+	cfg.NumNodes = sh.Nodes
+	cfg.NumClusters = sh.Clusters
+	cfg.Seed = sh.Seed
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := core.MaxFair(inst, core.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mem, err := model.NewMembership(inst, res.Assignment)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	place, err := replica.Place(inst, res.Assignment, mem, replica.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return inst, res.Assignment, place, nil
+}
+
+// StartNode boots ONE live peer of a deployment (for the multi-process
+// p2pnode binary): it reconstructs the model from the shape, takes the
+// role of node `id` (storing what the placement assigned to it), listens
+// on listenAddr, and — when bootstrapAddr is non-empty — announces itself
+// to the existing deployment and fetches the address book.
+func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*Node, error) {
+	inst, assign, place, err := sh.Build()
+	if err != nil {
+		return nil, err
+	}
+	if int(id) < 0 || int(id) >= len(inst.Nodes) {
+		return nil, fmt.Errorf("livenet: node id %d outside shape (0..%d)", id, len(inst.Nodes)-1)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listen %s: %w", listenAddr, err)
+	}
+	n := newBareNode(inst, id, ln, sh.Seed)
+	for _, d := range place.Stored[id] {
+		n.storeDoc(d)
+	}
+	for cat, cl := range assign {
+		if cl != model.NoCluster {
+			n.dcrt[catalog.CategoryID(cat)] = overlay.DCRTEntry{Cluster: cl}
+		}
+	}
+	// NRT: this process cannot know which peers are up; it relies on the
+	// address book to find them. Route every cluster through the book:
+	// members are discovered as hellos arrive. Prime with the static
+	// membership so cluster routing knows WHO belongs WHERE; liveness is
+	// the book's job.
+	mem, err := model.NewMembership(inst, assign)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	for c := 0; c < inst.NumClusters; c++ {
+		for _, m := range mem.NodesOf(model.ClusterID(c)) {
+			if m != id {
+				n.addNeighbor(model.ClusterID(c), m)
+			}
+		}
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+
+	if bootstrapAddr != "" {
+		if err := n.announce(bootstrapAddr); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// newBareNode builds a Node with empty state and its own private address
+// book (multi-process semantics: no sharing).
+func newBareNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64) *Node {
+	return &Node{
+		id:      id,
+		inst:    inst,
+		ln:      ln,
+		rng:     newNodeRng(seed, id),
+		book:    map[model.NodeID]string{id: ln.Addr().String()},
+		inbox:   make(chan envelope, 256),
+		cmds:    make(chan command, 16),
+		done:    make(chan struct{}),
+		dt:      make(map[catalog.DocID]catalog.CategoryID),
+		byCat:   make(map[catalog.CategoryID][]catalog.DocID),
+		dcrt:    make(map[catalog.CategoryID]overlay.DCRTEntry),
+		nrt:     make(map[model.ClusterID][]model.NodeID),
+		seen:    make(map[uint64]bool),
+		pending: make(map[uint64]*pendingQuery),
+	}
+}
+
+// Close shuts down a standalone node.
+func (n *Node) Close() {
+	select {
+	case <-n.done:
+	default:
+		close(n.done)
+	}
+	n.ln.Close()
+	n.wg.Wait()
+}
+
+// announce sends a hello to the bootstrap address directly (it is not in
+// the book yet) and waits briefly for the book to arrive.
+func (n *Node) announce(bootstrapAddr string) error {
+	conn, err := net.DialTimeout("tcp", bootstrapAddr, 3*time.Second)
+	if err != nil {
+		return fmt.Errorf("livenet: bootstrap %s: %w", bootstrapAddr, err)
+	}
+	env := envelope{From: n.id, Msg: helloMsg{ID: n.id, Addr: n.Addr()}}
+	err = gob.NewEncoder(conn).Encode(env)
+	conn.Close()
+	if err != nil {
+		return fmt.Errorf("livenet: announce: %w", err)
+	}
+	// The book arrives asynchronously; give it a moment so the caller can
+	// query immediately after joining.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.KnownPeers() > 1 {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("livenet: no address book received from %s", bootstrapAddr)
+}
+
+// KnownPeers reports how many peers (including itself) the node can
+// address.
+func (n *Node) KnownPeers() int {
+	ch := make(chan int, 1)
+	select {
+	case n.cmds <- func(n *Node) { ch <- len(n.book) }:
+		return <-ch
+	case <-n.done:
+		return 0
+	}
+}
+
+// handleHello merges the newcomer into the book, replies with the full
+// book, and forwards the hello once to every peer this node knew before
+// (so the whole deployment learns the address without a broadcast storm).
+func (n *Node) handleHello(m helloMsg) {
+	if _, known := n.book[m.ID]; known && n.book[m.ID] == m.Addr {
+		return // duplicate announcement
+	}
+	prior := make([]model.NodeID, 0, len(n.book))
+	for id := range n.book {
+		if id != n.id && id != m.ID {
+			prior = append(prior, id)
+		}
+	}
+	n.book[m.ID] = m.Addr
+	book := make(map[model.NodeID]string, len(n.book))
+	for id, addr := range n.book {
+		book[id] = addr
+	}
+	n.send(m.ID, bookMsg{Book: book})
+	for _, id := range prior {
+		n.send(id, m)
+	}
+}
+
+// handleBook merges a received address book.
+func (n *Node) handleBook(m bookMsg) {
+	for id, addr := range m.Book {
+		if id != n.id {
+			n.book[id] = addr
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"p2pshare/internal/model"
+)
+
+func testShape() Shape {
+	return Shape{Documents: 400, Categories: 12, Nodes: 24, Clusters: 4, Seed: 77}
+}
+
+func TestShapeBuildDeterministic(t *testing.T) {
+	sh := testShape()
+	instA, assignA, placeA, err := sh.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB, assignB, placeB, err := sh.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instA.DocCount() != instB.DocCount() {
+		t.Fatal("instances differ")
+	}
+	for c := range assignA {
+		if assignA[c] != assignB[c] {
+			t.Fatalf("assignment differs at category %d", c)
+		}
+	}
+	for k := range placeA.Stored {
+		if len(placeA.Stored[k]) != len(placeB.Stored[k]) {
+			t.Fatalf("placement differs at node %d", k)
+		}
+	}
+}
+
+// TestMultiProcessStyleJoin boots independent StartNode peers — each with
+// its own model reconstruction and private address book, exactly the
+// cross-process semantics of cmd/p2pnode — and checks that a late joiner
+// discovers the deployment through one bootstrap address and can query it.
+func TestMultiProcessStyleJoin(t *testing.T) {
+	sh := testShape()
+	// Seed node.
+	seedNode, err := StartNode(sh, 0, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedNode.Close()
+
+	// A handful of peers join through the seed.
+	var nodes []*Node
+	for id := model.NodeID(1); id <= 6; id++ {
+		n, err := StartNode(sh, id, "127.0.0.1:0", seedNode.Addr())
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	// The book gossips outward; every member should learn every address.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if seedNode.KnownPeers() == 7 && nodes[len(nodes)-1].KnownPeers() == 7 {
+			break
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if got := seedNode.KnownPeers(); got != 7 {
+		t.Fatalf("seed knows %d peers, want 7", got)
+	}
+	if got := nodes[len(nodes)-1].KnownPeers(); got != 7 {
+		t.Fatalf("last joiner knows %d peers, want 7", got)
+	}
+
+	// A fresh joiner can query the deployment. Pick a category whose
+	// serving cluster has running members among ids 0..6; with only a
+	// fraction of the shape's 24 nodes running, some clusters are dark —
+	// exactly like a partially-deployed real system — so probe until a
+	// live category answers.
+	inst, _, _, err := sh.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered := false
+	for c := 0; c < inst.CatCount() && !answered; c++ {
+		out, err := nodes[0].Query(inst.Catalog.Cats[c].ID, 1, 2*time.Second)
+		if err == nil && out.Done {
+			answered = true
+		}
+	}
+	if !answered {
+		t.Fatal("no category answerable across the running subset")
+	}
+}
+
+func TestStartNodeValidation(t *testing.T) {
+	sh := testShape()
+	if _, err := StartNode(sh, model.NodeID(999), "127.0.0.1:0", ""); err == nil {
+		t.Error("out-of-shape id should fail")
+	}
+	if _, err := StartNode(sh, 0, "127.0.0.1:0", "127.0.0.1:1"); err == nil {
+		t.Error("unreachable bootstrap should fail")
+	}
+}

@@ -1,0 +1,536 @@
+// Package livenet runs the architecture's query and publish protocols
+// over real TCP sockets — one OS process, many peers, each with its own
+// listener, event loop, and metadata tables (DT/DCRT/NRT). The simulated
+// overlay (internal/overlay) is the instrument for experiments; livenet
+// demonstrates that the same protocols work over an actual network with
+// goroutines and sockets, and is the natural starting point for a
+// multi-host deployment.
+//
+// Concurrency model: each peer runs a single event-loop goroutine that
+// owns all peer state. The TCP accept loop and the public API feed it
+// through one channel, so handlers are lock-free and ordering per peer is
+// serial — the same discipline the paper's per-node protocol descriptions
+// assume.
+package livenet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+	"p2pshare/internal/overlay"
+	"p2pshare/internal/replica"
+)
+
+func init() {
+	// Wire messages reused from the overlay package.
+	gob.Register(overlay.QueryMsg{})
+	gob.Register(overlay.ResultMsg{})
+	gob.Register(overlay.PublishMsg{})
+	gob.Register(overlay.PublishAckMsg{})
+}
+
+// envelope frames every wire message with its sender.
+type envelope struct {
+	From model.NodeID
+	Msg  any
+}
+
+// QueryOutcome is the result of a live query.
+type QueryOutcome struct {
+	// Done is true when the requested number of distinct documents
+	// arrived before the deadline.
+	Done bool
+	// Docs are the distinct documents received.
+	Docs []catalog.DocID
+	// Hops is the forwarding distance of the completing result.
+	Hops int
+}
+
+// pendingQuery tracks a query issued by this node.
+type pendingQuery struct {
+	want int
+	docs map[catalog.DocID]bool
+	hops int
+	ch   chan QueryOutcome
+}
+
+// command is an API request executed inside the event loop.
+type command func(*Node)
+
+// Node is one live peer.
+type Node struct {
+	id   model.NodeID
+	inst *model.Instance
+	ln   net.Listener
+	rng  *rand.Rand
+
+	// book maps node ids to listen addresses (shared, read-only after
+	// launch).
+	book map[model.NodeID]string
+
+	inbox chan envelope
+	cmds  chan command
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// Peer state — owned by the event loop.
+	dt      map[catalog.DocID]catalog.CategoryID
+	byCat   map[catalog.CategoryID][]catalog.DocID
+	dcrt    map[catalog.CategoryID]overlay.DCRTEntry
+	nrt     map[model.ClusterID][]model.NodeID
+	seen    map[uint64]bool
+	pending map[uint64]*pendingQuery
+	served  int64
+
+	nextQuery uint64
+}
+
+// ID returns the node's id.
+func (n *Node) ID() model.NodeID { return n.id }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Served returns how many requests this node has served (snapshot read
+// through the event loop).
+func (n *Node) Served() int64 {
+	ch := make(chan int64, 1)
+	select {
+	case n.cmds <- func(n *Node) { ch <- n.served }:
+		return <-ch
+	case <-n.done:
+		return 0
+	}
+}
+
+// Cluster is a set of live peers sharing one address book.
+type Cluster struct {
+	Nodes []*Node
+	inst  *model.Instance
+}
+
+// Launch starts one TCP peer per instance node on loopback ports, primes
+// metadata exactly like the simulated overlay's bootstrap (full DCRT,
+// ring-plus-chords NRT per cluster, remote contacts), and returns the
+// running cluster. Close it when done.
+func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64) (*Cluster, error) {
+	if len(assign) != len(inst.Catalog.Cats) {
+		return nil, fmt.Errorf("livenet: assignment covers %d of %d categories",
+			len(assign), len(inst.Catalog.Cats))
+	}
+	mem, err := model.NewMembership(inst, assign)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Cluster{inst: inst}
+	book := make(map[model.NodeID]string, len(inst.Nodes))
+
+	for k := range inst.Nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("livenet: listen: %w", err)
+		}
+		n := &Node{
+			id:      inst.Nodes[k].ID,
+			inst:    inst,
+			ln:      ln,
+			rng:     rand.New(rand.NewSource(seed + int64(k) + 1)),
+			book:    book,
+			inbox:   make(chan envelope, 256),
+			cmds:    make(chan command, 16),
+			done:    make(chan struct{}),
+			dt:      make(map[catalog.DocID]catalog.CategoryID),
+			byCat:   make(map[catalog.CategoryID][]catalog.DocID),
+			dcrt:    make(map[catalog.CategoryID]overlay.DCRTEntry),
+			nrt:     make(map[model.ClusterID][]model.NodeID),
+			seen:    make(map[uint64]bool),
+			pending: make(map[uint64]*pendingQuery),
+		}
+		book[n.id] = ln.Addr().String()
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Prime storage.
+	for k, n := range c.Nodes {
+		docs := inst.Nodes[k].Contributed
+		if place != nil {
+			docs = place.Stored[k]
+		}
+		for _, d := range docs {
+			n.storeDoc(d)
+		}
+	}
+	// Prime DCRTs.
+	for cat, cl := range assign {
+		if cl == model.NoCluster {
+			continue
+		}
+		for _, n := range c.Nodes {
+			n.dcrt[catalog.CategoryID(cat)] = overlay.DCRTEntry{Cluster: cl}
+		}
+	}
+	// Prime NRTs: ring + chords within clusters, remote contacts across.
+	for cl := 0; cl < inst.NumClusters; cl++ {
+		members := append([]model.NodeID(nil), mem.NodesOf(model.ClusterID(cl))...)
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		link := func(a, b model.NodeID) {
+			if a != b {
+				c.Nodes[a].addNeighbor(model.ClusterID(cl), b)
+				c.Nodes[b].addNeighbor(model.ClusterID(cl), a)
+			}
+		}
+		for i, a := range members {
+			link(a, members[(i+1)%len(members)])
+			link(a, members[rng.Intn(len(members))])
+		}
+	}
+	for _, n := range c.Nodes {
+		for cl := 0; cl < inst.NumClusters; cl++ {
+			if len(n.nrt[model.ClusterID(cl)]) > 0 {
+				continue
+			}
+			members := mem.NodesOf(model.ClusterID(cl))
+			if len(members) == 0 {
+				continue
+			}
+			for i := 0; i < 3; i++ {
+				n.addNeighbor(model.ClusterID(cl), members[rng.Intn(len(members))])
+			}
+		}
+	}
+
+	// Each node gets a private copy of the address book: handleHello and
+	// handleBook mutate it inside the owning event loop, which would race
+	// on a shared map.
+	for _, n := range c.Nodes {
+		private := make(map[model.NodeID]string, len(book))
+		for id, addr := range book {
+			private[id] = addr
+		}
+		n.book = private
+	}
+
+	for _, n := range c.Nodes {
+		n.wg.Add(2)
+		go n.acceptLoop()
+		go n.eventLoop()
+	}
+	return c, nil
+}
+
+// newNodeRng derives a node-local random source.
+func newNodeRng(seed int64, id model.NodeID) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(id) + 1))
+}
+
+// Close shuts every peer down and waits for their loops to exit.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
+		select {
+		case <-n.done:
+		default:
+			close(n.done)
+		}
+		n.ln.Close()
+	}
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.wg.Wait()
+		}
+	}
+}
+
+func (n *Node) storeDoc(d catalog.DocID) {
+	if _, ok := n.dt[d]; ok {
+		return
+	}
+	cat := n.inst.Catalog.Doc(d).Categories[0]
+	n.dt[d] = cat
+	n.byCat[cat] = append(n.byCat[cat], d)
+}
+
+func (n *Node) addNeighbor(cl model.ClusterID, nb model.NodeID) {
+	if nb == n.id {
+		return
+	}
+	for _, m := range n.nrt[cl] {
+		if m == nb {
+			return
+		}
+	}
+	n.nrt[cl] = append(n.nrt[cl], nb)
+}
+
+// acceptLoop turns incoming TCP connections into inbox envelopes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var env envelope
+			if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+				return
+			}
+			select {
+			case n.inbox <- env:
+			case <-n.done:
+			}
+		}(conn)
+	}
+}
+
+// eventLoop owns the node state.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case env := <-n.inbox:
+			n.dispatch(env)
+		case cmd := <-n.cmds:
+			cmd(n)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) dispatch(env envelope) {
+	switch m := env.Msg.(type) {
+	case overlay.QueryMsg:
+		n.handleQuery(m)
+	case overlay.ResultMsg:
+		n.handleResult(m)
+	case overlay.PublishMsg:
+		n.handlePublish(env.From, m)
+	case overlay.PublishAckMsg:
+		n.handlePublishAck(m)
+	case helloMsg:
+		n.handleHello(m)
+	case bookMsg:
+		n.handleBook(m)
+	}
+}
+
+// send dials the target and writes one envelope (fire and forget — P2P
+// messages are best-effort, exactly as in the simulator).
+func (n *Node) send(to model.NodeID, msg any) {
+	addr, ok := n.book[to]
+	if !ok {
+		return
+	}
+	go func() {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = gob.NewEncoder(conn).Encode(envelope{From: n.id, Msg: msg})
+	}()
+}
+
+// ErrTimeout reports a query that did not complete before its deadline.
+var ErrTimeout = errors.New("livenet: query timed out")
+
+// Query runs the §3.3 protocol for a category over the live network and
+// blocks until m distinct documents arrive or the timeout expires (in
+// which case the partial outcome and ErrTimeout are returned).
+func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (QueryOutcome, error) {
+	ch := make(chan QueryOutcome, 1)
+	var issued bool
+	select {
+	case n.cmds <- func(n *Node) {
+		n.nextQuery++
+		id := n.nextQuery<<16 | uint64(n.id)&0xffff
+		pq := &pendingQuery{want: m, docs: make(map[catalog.DocID]bool), ch: ch}
+		n.pending[id] = pq
+		entry, ok := n.dcrt[cat]
+		if !ok {
+			entry = overlay.DCRTEntry{Cluster: 0}
+		}
+		members := n.nrt[entry.Cluster]
+		if len(members) == 0 {
+			ch <- QueryOutcome{}
+			delete(n.pending, id)
+			return
+		}
+		target := members[n.rng.Intn(len(members))]
+		n.send(target, overlay.QueryMsg{
+			ID: id, Category: cat, Want: m, Origin: n.id, Hops: 1, Entry: true,
+		})
+	}:
+		issued = true
+	case <-n.done:
+	}
+	if !issued {
+		return QueryOutcome{}, errors.New("livenet: node closed")
+	}
+	select {
+	case out := <-ch:
+		if !out.Done && out.Docs == nil {
+			return out, errors.New("livenet: no route to category cluster")
+		}
+		return out, nil
+	case <-time.After(timeout):
+		// Collect the partial state.
+		partial := make(chan QueryOutcome, 1)
+		select {
+		case n.cmds <- func(n *Node) {
+			// Find the pending query (by scanning — the id is internal).
+			for id, pq := range n.pending {
+				if pq.ch == ch {
+					out := QueryOutcome{Hops: pq.hops}
+					for d := range pq.docs {
+						out.Docs = append(out.Docs, d)
+					}
+					delete(n.pending, id)
+					partial <- out
+					return
+				}
+			}
+			partial <- QueryOutcome{}
+		}:
+			return <-partial, ErrTimeout
+		case <-n.done:
+			return QueryOutcome{}, ErrTimeout
+		}
+	}
+}
+
+// handleQuery mirrors the simulated overlay's §3.3 target-node logic.
+func (n *Node) handleQuery(m overlay.QueryMsg) {
+	if n.seen[m.ID] {
+		return
+	}
+	n.seen[m.ID] = true
+	entry, ok := n.dcrt[m.Category]
+	if !ok {
+		entry = overlay.DCRTEntry{Cluster: 0}
+	}
+	var matches []catalog.DocID
+	for _, d := range n.byCat[m.Category] {
+		matches = append(matches, d)
+		if len(matches) == m.Want {
+			break
+		}
+	}
+	if len(matches) > 0 {
+		n.served++
+		n.send(m.Origin, overlay.ResultMsg{
+			ID: m.ID, Docs: matches, Hops: m.Hops, From: n.id,
+		})
+	}
+	if remaining := m.Want - len(matches); remaining > 0 {
+		for _, nb := range n.nrt[entry.Cluster] {
+			n.send(nb, overlay.QueryMsg{
+				ID: m.ID, Category: m.Category, Want: remaining,
+				Origin: m.Origin, Hops: m.Hops + 1,
+			})
+		}
+	}
+}
+
+func (n *Node) handleResult(m overlay.ResultMsg) {
+	pq, ok := n.pending[m.ID]
+	if !ok {
+		return
+	}
+	for _, d := range m.Docs {
+		pq.docs[d] = true
+	}
+	if m.Hops > pq.hops {
+		pq.hops = m.Hops
+	}
+	if len(pq.docs) >= pq.want {
+		out := QueryOutcome{Done: true, Hops: m.Hops}
+		for d := range pq.docs {
+			out.Docs = append(out.Docs, d)
+		}
+		pq.ch <- out
+		delete(n.pending, m.ID)
+	}
+}
+
+// Publish announces a (locally stored) document to the cluster serving
+// its category — the §6.2 protocol over TCP.
+func (n *Node) Publish(d catalog.DocID) error {
+	doc := n.inst.Catalog.Doc(d)
+	if doc == nil {
+		return fmt.Errorf("livenet: unknown document %d", d)
+	}
+	select {
+	case n.cmds <- func(n *Node) {
+		n.storeDoc(d)
+		cat := doc.Categories[0]
+		entry, ok := n.dcrt[cat]
+		if !ok {
+			entry = overlay.DCRTEntry{Cluster: 0}
+		}
+		for i, nb := range n.nrt[entry.Cluster] {
+			if i == 3 {
+				break
+			}
+			n.send(nb, overlay.PublishMsg{Doc: d, Category: cat, Publisher: n.id})
+		}
+	}:
+		return nil
+	case <-n.done:
+		return errors.New("livenet: node closed")
+	}
+}
+
+func (n *Node) handlePublish(from model.NodeID, m overlay.PublishMsg) {
+	entry, known := n.dcrt[m.Category]
+	if !known {
+		entry = overlay.DCRTEntry{Cluster: 0}
+		n.dcrt[m.Category] = entry
+	}
+	accepted := false
+	for _, nb := range n.nrt[entry.Cluster] {
+		_ = nb
+		accepted = true
+		break
+	}
+	n.addNeighbor(entry.Cluster, m.Publisher)
+	sample := n.nrt[entry.Cluster]
+	if len(sample) > 8 {
+		sample = sample[:8]
+	}
+	n.send(from, overlay.PublishAckMsg{
+		Doc:      m.Doc,
+		Category: m.Category,
+		Entry:    entry,
+		Accepted: accepted,
+		Members:  append([]model.NodeID(nil), sample...),
+	})
+}
+
+func (n *Node) handlePublishAck(m overlay.PublishAckMsg) {
+	if old, ok := n.dcrt[m.Category]; !ok || m.Entry.MoveCounter > old.MoveCounter {
+		n.dcrt[m.Category] = m.Entry
+	}
+	for _, nb := range m.Members {
+		n.addNeighbor(m.Entry.Cluster, nb)
+	}
+}

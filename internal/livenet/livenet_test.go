@@ -1,0 +1,174 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/core"
+	"p2pshare/internal/model"
+	"p2pshare/internal/replica"
+)
+
+// launchSmall starts a compact live cluster on loopback.
+func launchSmall(t *testing.T, seed int64) (*Cluster, *model.Instance) {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 400
+	cfg.Catalog.NumCats = 12
+	cfg.NumNodes = 24
+	cfg.NumClusters = 4
+	cfg.Seed = seed
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MaxFair(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := model.NewMembership(inst, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := replica.Place(inst, res.Assignment, mem, replica.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Launch(inst, res.Assignment, place, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, inst
+}
+
+func bigCategory(inst *model.Instance) catalog.CategoryID {
+	best, docs := catalog.CategoryID(0), -1
+	for i := range inst.Catalog.Cats {
+		if n := len(inst.Catalog.Cats[i].Docs); n > docs {
+			best, docs = inst.Catalog.Cats[i].ID, n
+		}
+	}
+	return best
+}
+
+func TestLiveQueryOverTCP(t *testing.T) {
+	c, inst := launchSmall(t, 1)
+	cat := bigCategory(inst)
+	out, err := c.Nodes[0].Query(cat, 3, 5*time.Second)
+	if err != nil {
+		t.Fatalf("query failed: %v (got %d docs)", err, len(out.Docs))
+	}
+	if !out.Done || len(out.Docs) < 3 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Hops < 1 {
+		t.Errorf("hops = %d", out.Hops)
+	}
+	// Returned documents genuinely belong to the category.
+	for _, d := range out.Docs {
+		if inst.Catalog.Doc(d).Categories[0] != cat {
+			t.Errorf("doc %d is not in category %d", d, cat)
+		}
+	}
+}
+
+func TestLiveQueriesFromManyOrigins(t *testing.T) {
+	c, inst := launchSmall(t, 2)
+	cat := bigCategory(inst)
+	type result struct {
+		err  error
+		done bool
+	}
+	results := make(chan result, len(c.Nodes))
+	for _, n := range c.Nodes {
+		go func(n *Node) {
+			out, err := n.Query(cat, 2, 5*time.Second)
+			results <- result{err, out.Done}
+		}(n)
+	}
+	ok := 0
+	for range c.Nodes {
+		r := <-results
+		if r.err == nil && r.done {
+			ok++
+		}
+	}
+	if ok < len(c.Nodes)*8/10 {
+		t.Errorf("only %d of %d concurrent live queries completed", ok, len(c.Nodes))
+	}
+}
+
+func TestLiveServingLoadRecorded(t *testing.T) {
+	c, inst := launchSmall(t, 3)
+	cat := bigCategory(inst)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Nodes[i%len(c.Nodes)].Query(cat, 1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, n := range c.Nodes {
+		total += n.Served()
+	}
+	if total < 10 {
+		t.Errorf("served total %d < 10 queries", total)
+	}
+}
+
+func TestLivePublishBecomesQueryable(t *testing.T) {
+	c, inst := launchSmall(t, 4)
+	// A brand-new document published by node 5.
+	publisher := c.Nodes[5]
+	ids, err := inst.Catalog.AddDocuments(1, 0.05, 0.8, publisher.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AttachDocument(ids[0], publisher.id); err != nil {
+		t.Fatal(err)
+	}
+	if err := publisher.Publish(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Give the publish a moment to propagate, then query the category
+	// with a demand that must include the new doc eventually. The
+	// publisher itself stores the doc, so a broad query finds it.
+	time.Sleep(300 * time.Millisecond)
+	cat := inst.Catalog.Doc(ids[0]).Categories[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, _ := c.Nodes[1].Query(cat, len(inst.Catalog.Cats[cat].Docs), 2*time.Second)
+		for _, d := range out.Docs {
+			if d == ids[0] {
+				return // found it
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("published document never appeared in query results")
+		}
+	}
+}
+
+func TestLiveQueryTimeoutOnImpossibleDemand(t *testing.T) {
+	c, inst := launchSmall(t, 5)
+	cat := bigCategory(inst)
+	// Demand more documents than exist: the query cannot complete and
+	// must time out with partial results.
+	out, err := c.Nodes[2].Query(cat, len(inst.Catalog.Docs)+100, 1500*time.Millisecond)
+	if err != ErrTimeout {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+	if out.Done {
+		t.Error("impossible demand reported done")
+	}
+	if len(out.Docs) == 0 {
+		t.Error("timeout should still return partial results")
+	}
+}
+
+func TestLiveClusterCloseIdempotent(t *testing.T) {
+	c, _ := launchSmall(t, 6)
+	c.Close()
+	c.Close() // second close must not panic or hang
+}

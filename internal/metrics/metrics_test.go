@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should read zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+	if h.Max() != 5 {
+		t.Errorf("Max = %g", h.Max())
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %g", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("p0 = %g", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Errorf("p100 = %g", q)
+	}
+}
+
+func TestHistogramQuantileNearestRank(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.95); q != 95 {
+		t.Errorf("p95 = %g, want 95", q)
+	}
+	if q := h.Quantile(0.01); q != 1 {
+		t.Errorf("p1 = %g, want 1", q)
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	_ = h.Quantile(0.5)
+	h.Observe(1) // must re-sort lazily
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("quantile after new observation = %g, want 1", q)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Millisecond)
+	if got := h.Mean(); got != 1500 {
+		t.Errorf("duration in ms = %g", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	if s := h.Summary(); !strings.Contains(s, "n=1") {
+		t.Errorf("summary %q missing count", s)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Float64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("a", 2)
+	c.Add("b", 1)
+	c.Add("a", 3)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
+		t.Error("counter arithmetic wrong")
+	}
+	labels := c.Labels()
+	if !sort.StringsAreSorted(labels) || len(labels) != 2 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	if tl.Len() != 0 || tl.Min() != 0 || tl.Last() != 0 {
+		t.Error("empty timeline should read zeros")
+	}
+	tl.Record(time.Second, 0.9)
+	tl.Record(2*time.Second, 0.7)
+	tl.Record(3*time.Second, 0.95)
+	if tl.Len() != 3 || tl.Min() != 0.7 || tl.Last() != 0.95 {
+		t.Errorf("timeline stats wrong: len=%d min=%g last=%g", tl.Len(), tl.Min(), tl.Last())
+	}
+	chart := tl.ASCIIChart(0, 1, 20)
+	if !strings.Contains(chart, "0.9500") {
+		t.Errorf("chart missing value:\n%s", chart)
+	}
+	if lines := strings.Count(chart, "\n"); lines != 3 {
+		t.Errorf("chart has %d lines, want 3", lines)
+	}
+}
+
+func TestTimelineChartClamps(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, -5)
+	tl.Record(time.Second, 99)
+	chart := tl.ASCIIChart(0, 1, 10)
+	if strings.Count(chart, "█") != 10 {
+		t.Errorf("clamped chart should draw exactly one full bar:\n%s", chart)
+	}
+}
+
+func TestLoadVector(t *testing.T) {
+	lv := NewLoadVector(4)
+	lv.Inc(0)
+	lv.Inc(0)
+	lv.Add(2, 5)
+	if lv.Get(0) != 2 || lv.Get(2) != 5 || lv.Get(1) != 0 {
+		t.Error("load vector arithmetic wrong")
+	}
+	if lv.Total() != 7 || lv.Len() != 4 {
+		t.Errorf("total=%d len=%d", lv.Total(), lv.Len())
+	}
+	fs := lv.Floats()
+	fs[0] = 99
+	if lv.Get(0) != 2 {
+		t.Error("Floats should copy")
+	}
+	sub := lv.Subset([]int{2, 0})
+	if sub[0] != 5 || sub[1] != 2 {
+		t.Errorf("Subset = %v", sub)
+	}
+}

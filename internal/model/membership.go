@@ -1,0 +1,75 @@
+package model
+
+import (
+	"fmt"
+
+	"p2pshare/internal/catalog"
+)
+
+// Membership captures which nodes belong to which clusters under a given
+// category→cluster assignment. A node belongs to every cluster that hosts
+// a category of a document it contributes (paper §3.1: "a node may belong
+// to more than one cluster if it contributes documents associated with
+// more than one category").
+type Membership struct {
+	// ClusterNodes lists the member nodes of each cluster, ascending by id.
+	ClusterNodes [][]NodeID
+	// NodeClusters lists the clusters of each node, ascending by id.
+	NodeClusters [][]ClusterID
+}
+
+// NewMembership derives cluster membership from an instance and a complete
+// category→cluster assignment (indexed by category id; entries may be
+// NoCluster for unassigned categories, whose contributors then join no
+// cluster on their account).
+func NewMembership(inst *Instance, assign []ClusterID) (*Membership, error) {
+	if len(assign) < len(inst.Catalog.Cats) {
+		return nil, fmt.Errorf("model: assignment covers %d of %d categories",
+			len(assign), len(inst.Catalog.Cats))
+	}
+	m := &Membership{
+		ClusterNodes: make([][]NodeID, inst.NumClusters),
+		NodeClusters: make([][]ClusterID, len(inst.Nodes)),
+	}
+	for k := range inst.Nodes {
+		node := &inst.Nodes[k]
+		seen := make(map[ClusterID]bool)
+		for _, di := range node.Contributed {
+			for _, cid := range inst.Catalog.Docs[di].Categories {
+				cl := assign[cid]
+				if cl == NoCluster || seen[cl] {
+					continue
+				}
+				seen[cl] = true
+				m.NodeClusters[k] = append(m.NodeClusters[k], cl)
+				m.ClusterNodes[cl] = append(m.ClusterNodes[cl], node.ID)
+			}
+		}
+	}
+	return m, nil
+}
+
+// ClustersOf returns the clusters node n belongs to.
+func (m *Membership) ClustersOf(n NodeID) []ClusterID { return m.NodeClusters[n] }
+
+// NodesOf returns the member nodes of cluster c.
+func (m *Membership) NodesOf(c ClusterID) []NodeID { return m.ClusterNodes[c] }
+
+// ClusterDocs returns the documents whose categories live in cluster c,
+// each listed once even if several of its categories are in c.
+func ClusterDocs(inst *Instance, assign []ClusterID, c ClusterID) []catalog.DocID {
+	var out []catalog.DocID
+	seen := make(map[catalog.DocID]bool)
+	for cid := range inst.Catalog.Cats {
+		if assign[cid] != c {
+			continue
+		}
+		for _, di := range inst.Catalog.Cats[cid].Docs {
+			if !seen[di] {
+				seen[di] = true
+				out = append(out, di)
+			}
+		}
+	}
+	return out
+}

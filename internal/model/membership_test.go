@@ -1,0 +1,124 @@
+package model
+
+import (
+	"testing"
+
+	"p2pshare/internal/catalog"
+)
+
+func membershipSetup(t *testing.T) (*Instance, []ClusterID) {
+	t.Helper()
+	inst, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]ClusterID, inst.CatCount())
+	for c := range assign {
+		assign[c] = ClusterID(c % inst.NumClusters)
+	}
+	return inst, assign
+}
+
+func TestMembershipNodeJoinsContributedClusters(t *testing.T) {
+	inst, assign := membershipSetup(t)
+	mem, err := NewMembership(inst, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range inst.Nodes {
+		want := make(map[ClusterID]bool)
+		for _, di := range inst.Nodes[k].Contributed {
+			for _, cid := range inst.Catalog.Docs[di].Categories {
+				want[assign[cid]] = true
+			}
+		}
+		got := make(map[ClusterID]bool)
+		for _, cl := range mem.ClustersOf(NodeID(k)) {
+			got[cl] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d in %d clusters, want %d", k, len(got), len(want))
+		}
+		for cl := range want {
+			if !got[cl] {
+				t.Fatalf("node %d missing cluster %d", k, cl)
+			}
+		}
+	}
+}
+
+func TestMembershipSymmetry(t *testing.T) {
+	inst, assign := membershipSetup(t)
+	mem, err := NewMembership(inst, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NodesOf and ClustersOf describe the same relation.
+	for c := range mem.ClusterNodes {
+		for _, k := range mem.NodesOf(ClusterID(c)) {
+			found := false
+			for _, cl := range mem.ClustersOf(k) {
+				if cl == ClusterID(c) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cluster %d lists node %d but not vice versa", c, k)
+			}
+		}
+	}
+}
+
+func TestMembershipNoDuplicates(t *testing.T) {
+	inst, assign := membershipSetup(t)
+	mem, _ := NewMembership(inst, assign)
+	for c, nodes := range mem.ClusterNodes {
+		seen := make(map[NodeID]bool)
+		for _, k := range nodes {
+			if seen[k] {
+				t.Fatalf("cluster %d lists node %d twice", c, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestMembershipIncompleteAssignment(t *testing.T) {
+	inst, _ := membershipSetup(t)
+	if _, err := NewMembership(inst, make([]ClusterID, 3)); err == nil {
+		t.Error("short assignment should fail")
+	}
+	// NoCluster entries are allowed: those contributors join nothing.
+	assign := make([]ClusterID, inst.CatCount())
+	for c := range assign {
+		assign[c] = NoCluster
+	}
+	mem, err := NewMembership(inst, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range inst.Nodes {
+		if len(mem.ClustersOf(NodeID(k))) != 0 {
+			t.Fatalf("node %d joined clusters under all-NoCluster assignment", k)
+		}
+	}
+}
+
+func TestClusterDocs(t *testing.T) {
+	inst, assign := membershipSetup(t)
+	total := 0
+	seen := make(map[catalog.DocID]bool)
+	for c := 0; c < inst.NumClusters; c++ {
+		docs := ClusterDocs(inst, assign, ClusterID(c))
+		for _, di := range docs {
+			if seen[di] {
+				t.Fatalf("doc %d in two clusters", di)
+			}
+			seen[di] = true
+		}
+		total += len(docs)
+	}
+	if total != inst.DocCount() {
+		t.Errorf("cluster docs total %d, want %d", total, inst.DocCount())
+	}
+}

@@ -1,0 +1,298 @@
+package overlay
+
+import (
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+)
+
+// Wire-size model: every message pays a fixed header; payloads are
+// estimated per field. The simulator only uses sizes for traffic
+// accounting (e.g. the rebalancing-transfer experiment), so rough byte
+// costs suffice.
+const (
+	headerBytes   = 64
+	perIDBytes    = 8
+	perEntryBytes = 16
+)
+
+// QueryMsg implements the paper's §3.3 query: the requesting node resolved
+// keywords to a category, looked up the cluster in its DCRT, and sent the
+// query to a random cluster node from its NRT. Nodes forward it within the
+// cluster while Want results are missing.
+type QueryMsg struct {
+	ID       uint64
+	Category catalog.CategoryID
+	// Want is m: how many results this branch still seeks.
+	Want int
+	// Origin is the requesting node, which results flow back to.
+	Origin model.NodeID
+	// Hops counts forwarding steps so far.
+	Hops int
+	// Entry marks the first delivery into the serving cluster (set by
+	// the origin and by cross-cluster forwarding, cleared on in-cluster
+	// neighbor forwarding). The receiving node counts the request in its
+	// per-category hit counter exactly once per cluster entry, so the
+	// §6.1.2 monitoring counters estimate category demand rather than
+	// flood width.
+	Entry bool
+}
+
+// Kind implements simnet.Message.
+func (QueryMsg) Kind() string { return "query" }
+
+// Size implements simnet.Message.
+func (QueryMsg) Size() int64 { return headerBytes + 4*perIDBytes }
+
+// ResultMsg returns matching document ids straight to the query origin.
+type ResultMsg struct {
+	ID   uint64
+	Docs []catalog.DocID
+	// Hops is the forwarding distance of the answering node.
+	Hops int
+	// From is the answering node (for load accounting at the origin).
+	From model.NodeID
+}
+
+// Kind implements simnet.Message.
+func (ResultMsg) Kind() string { return "result" }
+
+// Size implements simnet.Message.
+func (m ResultMsg) Size() int64 { return headerBytes + int64(len(m.Docs))*perIDBytes }
+
+// PublishMsg announces a new document to the cluster believed to host its
+// category (§6.2 publish protocol).
+type PublishMsg struct {
+	Doc       catalog.DocID
+	Category  catalog.CategoryID
+	Publisher model.NodeID
+	// Dummy marks a free rider's no-content publish (§6.3 join protocol),
+	// which only subscribes the node to metadata updates.
+	Dummy bool
+}
+
+// Kind implements simnet.Message.
+func (PublishMsg) Kind() string { return "publish" }
+
+// Size implements simnet.Message.
+func (PublishMsg) Size() int64 { return headerBytes + 3*perIDBytes }
+
+// PublishAckMsg is the receiver's reply: its DCRT entry for the category
+// (so a stale publisher learns about moves) and an NRT sample.
+type PublishAckMsg struct {
+	Doc      catalog.DocID
+	Category catalog.CategoryID
+	// Entry is the receiver's current DCRT entry for Category.
+	Entry DCRTEntry
+	// Accepted is true when the receiver serves the category's cluster.
+	Accepted bool
+	// Members samples the receiver's NRT for the category's cluster.
+	Members []model.NodeID
+}
+
+// Kind implements simnet.Message.
+func (PublishAckMsg) Kind() string { return "publish-ack" }
+
+// Size implements simnet.Message.
+func (m PublishAckMsg) Size() int64 {
+	return headerBytes + 3*perIDBytes + int64(len(m.Members))*perIDBytes
+}
+
+// JoinRequestMsg asks a bootstrap node for its metadata (§6.3 join).
+type JoinRequestMsg struct {
+	Joiner model.NodeID
+}
+
+// Kind implements simnet.Message.
+func (JoinRequestMsg) Kind() string { return "join-request" }
+
+// Size implements simnet.Message.
+func (JoinRequestMsg) Size() int64 { return headerBytes + perIDBytes }
+
+// JoinReplyMsg carries the bootstrap node's DCRT and NRT.
+type JoinReplyMsg struct {
+	DCRT map[catalog.CategoryID]DCRTEntry
+	NRT  map[model.ClusterID][]model.NodeID
+}
+
+// Kind implements simnet.Message.
+func (JoinReplyMsg) Kind() string { return "join-reply" }
+
+// Size implements simnet.Message.
+func (m JoinReplyMsg) Size() int64 {
+	n := int64(len(m.DCRT)) * perEntryBytes
+	for _, nodes := range m.NRT {
+		n += int64(len(nodes)) * perIDBytes
+	}
+	return headerBytes + n
+}
+
+// LeaveMsg tells cluster mates which documents disappear with the leaving
+// node (§6.3).
+type LeaveMsg struct {
+	Node model.NodeID
+	Docs []catalog.DocID
+}
+
+// Kind implements simnet.Message.
+func (LeaveMsg) Kind() string { return "leave" }
+
+// Size implements simnet.Message.
+func (m LeaveMsg) Size() int64 { return headerBytes + int64(1+len(m.Docs))*perIDBytes }
+
+// CapabilityMsg gossips node capabilities ahead of leader election
+// (§6.1.1). Known aggregates the sender's current view so information
+// spreads epidemically.
+type CapabilityMsg struct {
+	Cluster model.ClusterID
+	Known   map[model.NodeID]float64
+}
+
+// Kind implements simnet.Message.
+func (CapabilityMsg) Kind() string { return "capability" }
+
+// Size implements simnet.Message.
+func (m CapabilityMsg) Size() int64 { return headerBytes + int64(len(m.Known))*perEntryBytes }
+
+// HitRequestMsg floods from the leader through the cluster, building the
+// §6.1.2 phase-1 aggregation tree on the fly.
+type HitRequestMsg struct {
+	Epoch   uint64
+	Cluster model.ClusterID
+}
+
+// Kind implements simnet.Message.
+func (HitRequestMsg) Kind() string { return "hit-request" }
+
+// Size implements simnet.Message.
+func (HitRequestMsg) Size() int64 { return headerBytes + 2*perIDBytes }
+
+// HitReplyMsg flows back up the aggregation tree. Dup marks a reply from a
+// node that was already claimed by another parent (it contributes
+// nothing; the parent just stops waiting for it).
+type HitReplyMsg struct {
+	Epoch   uint64
+	Cluster model.ClusterID
+	Dup     bool
+	// Hits aggregates per-category request counts in the subtree.
+	Hits map[catalog.CategoryID]int64
+	// Units aggregates the subtree's per-category unit mass
+	// u_k·p(D_s(k))/p(D(k)), so the chosen leader can rebuild the ICLB
+	// state from live measurements.
+	Units map[catalog.CategoryID]float64
+}
+
+// Kind implements simnet.Message.
+func (HitReplyMsg) Kind() string { return "hit-reply" }
+
+// Size implements simnet.Message.
+func (m HitReplyMsg) Size() int64 {
+	return headerBytes + int64(len(m.Hits)+len(m.Units))*perEntryBytes
+}
+
+// LeaderLoadMsg is the §6.1.2 phase-2 exchange: a cluster leader shares
+// its cluster's measured load with the other leaders. The sender contacts
+// one random node of the target cluster, which relays to its believed
+// leader ("a cluster leader needs only contact one random node in every
+// cluster to discover the cluster's leader").
+type LeaderLoadMsg struct {
+	Epoch uint64
+	// Cluster is the cluster whose load this reports.
+	Cluster model.ClusterID
+	// Target is the cluster whose leader should receive the report.
+	Target model.ClusterID
+	// Relays bounds forwarding (leader views can briefly disagree).
+	Relays int
+	Leader model.NodeID
+	// Hits and Units are the cluster-wide aggregates from phase 1.
+	Hits  map[catalog.CategoryID]int64
+	Units map[catalog.CategoryID]float64
+}
+
+// Kind implements simnet.Message.
+func (LeaderLoadMsg) Kind() string { return "leader-load" }
+
+// Size implements simnet.Message.
+func (m LeaderLoadMsg) Size() int64 {
+	return headerBytes + int64(len(m.Hits)+len(m.Units))*perEntryBytes
+}
+
+// MetadataUpdateMsg propagates DCRT changes epidemically (§6.1.2 lazy
+// rebalancing, step 5). Receivers keep the entry with the highest
+// move counter per category.
+type MetadataUpdateMsg struct {
+	Entries map[catalog.CategoryID]DCRTEntry
+}
+
+// Kind implements simnet.Message.
+func (MetadataUpdateMsg) Kind() string { return "metadata-update" }
+
+// Size implements simnet.Message.
+func (m MetadataUpdateMsg) Size() int64 { return headerBytes + int64(len(m.Entries))*perEntryBytes }
+
+// TransferMsg is one paired source→destination document-group transfer of
+// the lazy rebalancing protocol (step 2). Its Size reflects the actual
+// document bytes, which is what the §6.1.3 transfer-cost experiment
+// measures.
+type TransferMsg struct {
+	Category catalog.CategoryID
+	Docs     []catalog.DocID
+	Bytes    int64
+}
+
+// Kind implements simnet.Message.
+func (TransferMsg) Kind() string { return "transfer" }
+
+// Size implements simnet.Message.
+func (m TransferMsg) Size() int64 { return headerBytes + m.Bytes }
+
+// ManifestMsg announces a paired transfer (lazy rebalancing step 2): the
+// source node tells its destination node which documents are coming, so
+// the destination can serve queries in the meantime by fetching on demand
+// (step 4). The manifest itself is tiny; the bulk bytes travel in
+// TransferMsg.
+type ManifestMsg struct {
+	Category catalog.CategoryID
+	Docs     []catalog.DocID
+	Source   model.NodeID
+}
+
+// Kind implements simnet.Message.
+func (ManifestMsg) Kind() string { return "manifest" }
+
+// Size implements simnet.Message.
+func (m ManifestMsg) Size() int64 { return headerBytes + int64(len(m.Docs))*perIDBytes }
+
+// FetchMsg asks the coupling node in the source cluster for documents the
+// destination node should already serve (lazy rebalancing step 4).
+type FetchMsg struct {
+	Category catalog.CategoryID
+	Docs     []catalog.DocID
+	// ForQuery, when non-zero, resumes a forwarded query after the fetch.
+	ForQuery uint64
+	Origin   model.NodeID
+	Want     int
+	Hops     int
+}
+
+// Kind implements simnet.Message.
+func (FetchMsg) Kind() string { return "fetch" }
+
+// Size implements simnet.Message.
+func (m FetchMsg) Size() int64 { return headerBytes + int64(len(m.Docs))*perIDBytes }
+
+// FetchReplyMsg returns the fetched documents (paying their byte cost).
+type FetchReplyMsg struct {
+	Category catalog.CategoryID
+	Docs     []catalog.DocID
+	Bytes    int64
+	ForQuery uint64
+	Origin   model.NodeID
+	Want     int
+	Hops     int
+}
+
+// Kind implements simnet.Message.
+func (FetchReplyMsg) Kind() string { return "fetch-reply" }
+
+// Size implements simnet.Message.
+func (m FetchReplyMsg) Size() int64 { return headerBytes + m.Bytes }

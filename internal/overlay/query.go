@@ -1,0 +1,175 @@
+package overlay
+
+import (
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+	"sort"
+)
+
+// handleQuery implements step 2 of the §3.3 query protocol at a target
+// node: match local documents against the query category, return results
+// straight to the origin, and recursively forward the remainder to the
+// cluster neighbors, with loops broken by query id.
+func (p *Peer) handleQuery(m QueryMsg) {
+	if p.seen[m.ID] {
+		return // loop detected and broken (§3.3 step 2b)
+	}
+	p.seen[m.ID] = true
+
+	entry := p.routeCategory(m.Category)
+
+	// Lazy rebalancing step 3: if this peer's DCRT says the category has
+	// moved to a cluster it does not belong to, forward the request to a
+	// random node of the destination cluster.
+	if !p.inCluster(entry.Cluster) {
+		if target, ok := p.sys.randomLiveNode(p, entry.Cluster); ok {
+			p.sys.net.Send(p.addr, int(target), QueryMsg{
+				ID:       m.ID,
+				Category: m.Category,
+				Want:     m.Want,
+				Origin:   m.Origin,
+				Hops:     m.Hops + 1,
+				Entry:    true, // re-enters the (new) serving cluster
+			})
+		}
+		return
+	}
+
+	// Count the request once per cluster entry: the hit counters are the
+	// adaptation's demand estimate for the category (§6.1.2 phase 1).
+	if m.Entry {
+		p.hits[m.Category]++
+	}
+
+	// a. Match local documents.
+	var matches []catalog.DocID
+	for _, di := range p.storedIn(m.Category) {
+		matches = append(matches, di)
+		if len(matches) == m.Want {
+			break
+		}
+	}
+	if len(matches) > 0 {
+		// Load is "the number of requests served by a data store node"
+		// (§4): nodes that return documents did the serving; nodes that
+		// merely relayed a flooded copy performed a cheap index lookup.
+		p.served++
+		p.sys.net.Send(p.addr, int(m.Origin), ResultMsg{
+			ID:   m.ID,
+			Docs: matches,
+			Hops: m.Hops,
+			From: p.id,
+		})
+	}
+
+	remaining := m.Want - len(matches)
+
+	// Lazy rebalancing step 4: this peer is in the right cluster but may
+	// still be waiting for some of the category's documents from its
+	// coupling node in the source cluster. Fetch them now and answer the
+	// query when they arrive.
+	if remaining > 0 {
+		if pending := p.pendingDocsFor(m.Category, remaining); len(pending) > 0 {
+			byPeer := make(map[model.NodeID][]catalog.DocID)
+			for _, di := range pending {
+				byPeer[p.pendingFetch[di]] = append(byPeer[p.pendingFetch[di]], di)
+				delete(p.pendingFetch, di)
+			}
+			for peer, docs := range byPeer {
+				p.sys.net.Send(p.addr, int(peer), FetchMsg{
+					Category: m.Category,
+					Docs:     docs,
+					ForQuery: m.ID,
+					Origin:   m.Origin,
+					Want:     len(docs),
+					Hops:     m.Hops,
+				})
+			}
+			remaining -= len(pending)
+		}
+	}
+
+	// b. Forward the remainder. Flooding sends to all known cluster
+	// neighbors; routing-index mode sends only to the most promising
+	// ones ([1]: "forward queries to their neighbors that are more
+	// likely to have answers").
+	if remaining > 0 {
+		targets := p.neighbors(entry.Cluster)
+		if p.sys.cfg.Mode == ModeRoutingIndex {
+			targets = p.bestNeighborsFor(m.Category, targets, 2)
+		}
+		for _, n := range targets {
+			p.sys.net.Send(p.addr, int(n), QueryMsg{
+				ID:       m.ID,
+				Category: m.Category,
+				Want:     remaining,
+				Origin:   m.Origin,
+				Hops:     m.Hops + 1,
+				// Entry stays false: in-cluster forwarding of the same
+				// request.
+			})
+		}
+	}
+}
+
+// bestNeighborsFor ranks candidate neighbors by their routing-index score
+// for the category and keeps the top k (score ties and unscored neighbors
+// rank by id for determinism). With no positive scores at all it falls
+// back to the first k candidates, so a query never dead-ends solely for
+// lack of index data.
+func (p *Peer) bestNeighborsFor(cat catalog.CategoryID, candidates []model.NodeID, k int) []model.NodeID {
+	if len(candidates) <= k {
+		return candidates
+	}
+	ranked := append([]model.NodeID(nil), candidates...)
+	score := func(n model.NodeID) int {
+		if counts, ok := p.ri[n]; ok {
+			return counts[cat]
+		}
+		return 0
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := score(ranked[i]), score(ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked[:k]
+}
+
+// pendingDocsFor returns up to max pending-fetch documents of a category,
+// in ascending id order for determinism.
+func (p *Peer) pendingDocsFor(cat catalog.CategoryID, max int) []catalog.DocID {
+	var all []catalog.DocID
+	for di := range p.pendingFetch {
+		if p.sys.inst.Catalog.Doc(di).Categories[0] == cat {
+			all = append(all, di)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > max {
+		all = all[:max]
+	}
+	return all
+}
+
+// handleResult accumulates results at the query origin (§3.3 step 2c).
+func (p *Peer) handleResult(m ResultMsg) {
+	st, ok := p.queries[m.ID]
+	if !ok || st.done {
+		return
+	}
+	p.cacheDocs(m.Docs)
+	for _, di := range m.Docs {
+		st.docs[di] = true
+	}
+	if m.Hops > st.maxHops {
+		st.maxHops = m.Hops
+	}
+	if len(st.docs) >= st.want {
+		st.done = true
+		st.doneAt = p.sys.net.Now()
+		st.completionHops = m.Hops
+	}
+}

@@ -1,0 +1,305 @@
+package overlay
+
+import (
+	"sort"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+)
+
+// Mode selects the intra-cluster content-location design (§3.1): the
+// paper discusses pure flooding over cluster neighbors, a distinct set of
+// super peers holding cluster metadata, and routing indices at the
+// cluster's nodes (citing Crespo/Garcia-Molina [1]).
+type Mode int
+
+const (
+	// ModeFlood floods queries to all known cluster neighbors until
+	// enough results arrive (the default of §3.3).
+	ModeFlood Mode = iota
+	// ModeSuperPeer sends queries to the cluster's super peer, which
+	// holds a full document→holders index and dispatches the request to
+	// specific nodes ("a distinct set of super peer nodes, storing
+	// cluster metadata, describing which documents are stored by which
+	// cluster nodes", §3.1).
+	ModeSuperPeer
+	// ModeRoutingIndex forwards queries to the most promising neighbors
+	// according to per-neighbor per-category reachability counts instead
+	// of flooding (§3.1's pure-P2P alternative, after [1]).
+	ModeRoutingIndex
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFlood:
+		return "flood"
+	case ModeSuperPeer:
+		return "super-peer"
+	case ModeRoutingIndex:
+		return "routing-index"
+	default:
+		return "unknown"
+	}
+}
+
+// IndexQueryMsg asks a super peer to resolve a query against its cluster
+// index.
+type IndexQueryMsg struct {
+	ID       uint64
+	Category catalog.CategoryID
+	Want     int
+	Origin   model.NodeID
+	Hops     int
+}
+
+// Kind implements simnet.Message.
+func (IndexQueryMsg) Kind() string { return "index-query" }
+
+// Size implements simnet.Message.
+func (IndexQueryMsg) Size() int64 { return headerBytes + 4*perIDBytes }
+
+// DirectServeMsg is the super peer's dispatch: the target node should
+// return exactly these documents to the query origin.
+type DirectServeMsg struct {
+	ID     uint64
+	Docs   []catalog.DocID
+	Origin model.NodeID
+	Hops   int
+}
+
+// Kind implements simnet.Message.
+func (DirectServeMsg) Kind() string { return "direct-serve" }
+
+// Size implements simnet.Message.
+func (m DirectServeMsg) Size() int64 { return headerBytes + int64(len(m.Docs))*perIDBytes }
+
+// IndexUpdateMsg keeps a super peer's cluster index current: the sender
+// now stores Adds and no longer stores Removes.
+type IndexUpdateMsg struct {
+	Node    model.NodeID
+	Adds    []catalog.DocID
+	Removes []catalog.DocID
+}
+
+// Kind implements simnet.Message.
+func (IndexUpdateMsg) Kind() string { return "index-update" }
+
+// Size implements simnet.Message.
+func (m IndexUpdateMsg) Size() int64 {
+	return headerBytes + int64(1+len(m.Adds)+len(m.Removes))*perIDBytes
+}
+
+// clusterIndex is the super peer's metadata: which members hold which
+// documents, grouped by category for query resolution.
+type clusterIndex struct {
+	// holders maps each document to the members storing it (ascending).
+	holders map[catalog.DocID][]model.NodeID
+	// byCat lists a cluster's documents per category (ascending ids).
+	byCat map[catalog.CategoryID][]catalog.DocID
+}
+
+func newClusterIndex() *clusterIndex {
+	return &clusterIndex{
+		holders: make(map[catalog.DocID][]model.NodeID),
+		byCat:   make(map[catalog.CategoryID][]catalog.DocID),
+	}
+}
+
+// add registers node as a holder of doc.
+func (ix *clusterIndex) add(d catalog.DocID, cat catalog.CategoryID, n model.NodeID) {
+	hs := ix.holders[d]
+	for _, h := range hs {
+		if h == n {
+			return
+		}
+	}
+	if len(hs) == 0 {
+		// First holder: the document enters the category listing, kept
+		// sorted for deterministic iteration.
+		list := ix.byCat[cat]
+		pos := sort.Search(len(list), func(i int) bool { return list[i] >= d })
+		list = append(list, 0)
+		copy(list[pos+1:], list[pos:])
+		list[pos] = d
+		ix.byCat[cat] = list
+	}
+	pos := sort.Search(len(hs), func(i int) bool { return hs[i] >= n })
+	hs = append(hs, 0)
+	copy(hs[pos+1:], hs[pos:])
+	hs[pos] = n
+	ix.holders[d] = hs
+}
+
+// remove unregisters node as a holder of doc.
+func (ix *clusterIndex) remove(d catalog.DocID, cat catalog.CategoryID, n model.NodeID) {
+	hs := ix.holders[d]
+	for i, h := range hs {
+		if h == n {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(ix.holders, d)
+		list := ix.byCat[cat]
+		for i, di := range list {
+			if di == d {
+				ix.byCat[cat] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	ix.holders[d] = hs
+}
+
+// dropNode removes every trace of a departed member.
+func (ix *clusterIndex) dropNode(n model.NodeID, docCat func(catalog.DocID) catalog.CategoryID) {
+	var orphaned []catalog.DocID
+	for d, hs := range ix.holders {
+		out := hs[:0]
+		for _, h := range hs {
+			if h != n {
+				out = append(out, h)
+			}
+		}
+		if len(out) == 0 {
+			orphaned = append(orphaned, d)
+		} else {
+			ix.holders[d] = out
+		}
+	}
+	for _, d := range orphaned {
+		delete(ix.holders, d)
+		cat := docCat(d)
+		list := ix.byCat[cat]
+		for i, di := range list {
+			if di == d {
+				ix.byCat[cat] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// handleIndexQuery resolves a query at the super peer: walk the category's
+// documents, pick a random live holder for each, and dispatch grouped
+// serve requests. The index lookup is the super peer's load.
+func (p *Peer) handleIndexQuery(m IndexQueryMsg) {
+	if p.index == nil {
+		// Not (or no longer) a super peer: fall back to the flood path
+		// so the query is not lost.
+		p.handleQuery(QueryMsg{
+			ID: m.ID, Category: m.Category, Want: m.Want,
+			Origin: m.Origin, Hops: m.Hops, Entry: true,
+		})
+		return
+	}
+	p.served++
+	p.hits[m.Category]++
+
+	byHolder := make(map[model.NodeID][]catalog.DocID)
+	var order []model.NodeID
+	picked := 0
+	for _, d := range p.index.byCat[m.Category] {
+		if picked == m.Want {
+			break
+		}
+		hs := p.index.holders[d]
+		if len(hs) == 0 {
+			continue
+		}
+		// Random live holder — the same load-spreading idea as §3.3's
+		// random target selection.
+		var h model.NodeID = -1
+		for try := 0; try < 4; try++ {
+			cand := hs[p.sys.rng.Intn(len(hs))]
+			if p.sys.net.Alive(int(cand)) {
+				h = cand
+				break
+			}
+		}
+		if h == -1 {
+			continue
+		}
+		if _, seen := byHolder[h]; !seen {
+			order = append(order, h)
+		}
+		byHolder[h] = append(byHolder[h], d)
+		picked++
+	}
+	for _, h := range order {
+		p.sys.net.Send(p.addr, int(h), DirectServeMsg{
+			ID:     m.ID,
+			Docs:   byHolder[h],
+			Origin: m.Origin,
+			Hops:   m.Hops + 1,
+		})
+	}
+}
+
+// handleDirectServe returns the requested documents to the origin.
+func (p *Peer) handleDirectServe(m DirectServeMsg) {
+	var have []catalog.DocID
+	for _, d := range m.Docs {
+		if p.Stores(d) {
+			have = append(have, d)
+		}
+	}
+	if len(have) == 0 {
+		return
+	}
+	p.served++
+	p.sys.net.Send(p.addr, int(m.Origin), ResultMsg{
+		ID:   m.ID,
+		Docs: have,
+		Hops: m.Hops,
+		From: p.id,
+	})
+}
+
+// handleIndexUpdate maintains the super peer's index.
+func (p *Peer) handleIndexUpdate(m IndexUpdateMsg) {
+	if p.index == nil {
+		return
+	}
+	for _, d := range m.Adds {
+		if doc := p.sys.inst.Catalog.Doc(d); doc != nil {
+			p.index.add(d, doc.Categories[0], m.Node)
+		}
+	}
+	for _, d := range m.Removes {
+		if doc := p.sys.inst.Catalog.Doc(d); doc != nil {
+			p.index.remove(d, doc.Categories[0], m.Node)
+		}
+	}
+}
+
+// notifySuperPeer tells the super peer of a document's serving cluster
+// about a storage change at this peer (no-op outside super-peer mode or
+// before the super peers exist).
+func (p *Peer) notifySuperPeer(d catalog.DocID, added bool) {
+	if p.sys.cfg.Mode != ModeSuperPeer || p.sys.superPeers == nil {
+		return
+	}
+	doc := p.sys.inst.Catalog.Doc(d)
+	if doc == nil {
+		return
+	}
+	cl := p.routeCategory(doc.Categories[0]).Cluster
+	sp, ok := p.sys.superPeers[cl]
+	if !ok {
+		return
+	}
+	msg := IndexUpdateMsg{Node: p.id}
+	if added {
+		msg.Adds = []catalog.DocID{d}
+	} else {
+		msg.Removes = []catalog.DocID{d}
+	}
+	if sp == p.id {
+		p.handleIndexUpdate(msg)
+		return
+	}
+	p.sys.net.Send(p.addr, int(sp), msg)
+}

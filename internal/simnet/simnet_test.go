@@ -1,0 +1,316 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+type testMsg struct {
+	kind string
+	size int64
+	n    int
+}
+
+func (m testMsg) Kind() string { return m.kind }
+func (m testMsg) Size() int64  { return m.size }
+
+// recorder collects delivered messages.
+type recorder struct {
+	got []testMsg
+	// onDeliver, when set, runs on every delivery (for chained sends).
+	onDeliver func(net *Network, from int, msg Message)
+}
+
+func (r *recorder) Deliver(net *Network, from int, msg Message) {
+	r.got = append(r.got, msg.(testMsg))
+	if r.onDeliver != nil {
+		r.onDeliver(net, from, msg)
+	}
+}
+
+func TestSendDeliver(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	rb := &recorder{}
+	b := net.AddProcess(rb)
+	net.Send(a, b, testMsg{kind: "ping", size: 100})
+	if _, err := net.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.got) != 1 || rb.got[0].kind != "ping" {
+		t.Fatalf("b received %v", rb.got)
+	}
+	st := net.Stats()
+	if st.Delivered != 1 || st.MessagesByKind["ping"] != 1 || st.BytesByKind["ping"] != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestClockAdvancesByLatency(t *testing.T) {
+	net := New(FixedLatency(25*time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	rb := &recorder{}
+	b := net.AddProcess(rb)
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	if net.Now() != 25*time.Millisecond {
+		t.Errorf("clock = %v, want 25ms", net.Now())
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	run := func() []testMsg {
+		net := New(DefaultLatency, 42)
+		r := &recorder{}
+		sink := net.AddProcess(r)
+		src := net.AddProcess(&recorder{})
+		for i := 0; i < 50; i++ {
+			net.Send(src, sink, testMsg{kind: "m", n: i})
+		}
+		net.Run(0)
+		return r.got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i].n != b[i].n {
+			t.Fatalf("order differs at %d: %d vs %d", i, a[i].n, b[i].n)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	// Equal-time events run in schedule order.
+	net := New(FixedLatency(time.Millisecond), 1)
+	r := &recorder{}
+	sink := net.AddProcess(r)
+	src := net.AddProcess(&recorder{})
+	for i := 0; i < 10; i++ {
+		net.Send(src, sink, testMsg{kind: "m", n: i})
+	}
+	net.Run(0)
+	for i, m := range r.got {
+		if m.n != i {
+			t.Fatalf("tie-break violated at %d: got %d", i, m.n)
+		}
+	}
+}
+
+func TestKillDropsMessages(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	rb := &recorder{}
+	b := net.AddProcess(rb)
+	net.Kill(b)
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	if len(rb.got) != 0 {
+		t.Error("dead process received a message")
+	}
+	if st := net.Stats(); st.DroppedDead != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	net.Revive(b)
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	if len(rb.got) != 1 {
+		t.Error("revived process did not receive")
+	}
+}
+
+func TestKillAfterSendStillDrops(t *testing.T) {
+	// A message in flight to a node that dies before delivery is dropped:
+	// liveness is checked at delivery time.
+	net := New(FixedLatency(10*time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	rb := &recorder{}
+	b := net.AddProcess(rb)
+	net.Send(a, b, testMsg{kind: "m"})
+	net.After(5*time.Millisecond, func() { net.Kill(b) })
+	net.Run(0)
+	if len(rb.got) != 0 {
+		t.Error("message delivered to node that died mid-flight")
+	}
+}
+
+func TestCutLink(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	rb := &recorder{}
+	b := net.AddProcess(rb)
+	net.CutLink(a, b)
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Send(b, a, testMsg{kind: "m"})
+	net.Run(0)
+	if len(rb.got) != 0 {
+		t.Error("cut link delivered")
+	}
+	if st := net.Stats(); st.DroppedLink != 2 {
+		t.Errorf("DroppedLink = %d, want 2", st.DroppedLink)
+	}
+	net.HealLink(b, a) // order-insensitive
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	if len(rb.got) != 1 {
+		t.Error("healed link did not deliver")
+	}
+}
+
+func TestAfterTimer(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	var fired []time.Duration
+	net.After(30*time.Millisecond, func() { fired = append(fired, net.Now()) })
+	net.After(10*time.Millisecond, func() { fired = append(fired, net.Now()) })
+	net.Run(0)
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 30*time.Millisecond {
+		t.Errorf("timers fired at %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	var fired int
+	net.After(10*time.Millisecond, func() { fired++ })
+	net.After(20*time.Millisecond, func() { fired++ })
+	net.After(30*time.Millisecond, func() { fired++ })
+	ran := net.RunUntil(20 * time.Millisecond)
+	if ran != 2 || fired != 2 {
+		t.Errorf("ran %d fired %d, want 2 2", ran, fired)
+	}
+	if net.Now() != 20*time.Millisecond {
+		t.Errorf("clock = %v", net.Now())
+	}
+	if net.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", net.Pending())
+	}
+}
+
+func TestRunBound(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	r := &recorder{}
+	var addr int
+	r.onDeliver = func(n *Network, from int, _ Message) {
+		n.Send(addr, addr, testMsg{kind: "loop"}) // infinite self-send
+	}
+	addr = net.AddProcess(r)
+	net.Send(addr, addr, testMsg{kind: "loop"})
+	if _, err := net.Run(100); err == nil {
+		t.Error("livelock should be reported")
+	}
+}
+
+func TestChainedSends(t *testing.T) {
+	// a -> b -> c relays; the relay latency accumulates.
+	net := New(FixedLatency(5*time.Millisecond), 1)
+	rc := &recorder{}
+	c := net.AddProcess(rc)
+	rb := &recorder{}
+	rb.onDeliver = func(n *Network, from int, msg Message) {
+		n.Send(1, c, msg)
+	}
+	b := net.AddProcess(rb) // address 1
+	a := net.AddProcess(&recorder{})
+	_ = b
+	net.Send(a, 1, testMsg{kind: "m"})
+	net.Run(0)
+	if len(rc.got) != 1 {
+		t.Fatal("relay failed")
+	}
+	if net.Now() != 10*time.Millisecond {
+		t.Errorf("relay time = %v, want 10ms", net.Now())
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	net := New(nil, 7) // default latency
+	for i := 0; i < 1000; i++ {
+		d := DefaultLatency.Delay(0, 1, net.Rng())
+		if d < 10*time.Millisecond || d >= 100*time.Millisecond {
+			t.Fatalf("latency %v out of [10ms,100ms)", d)
+		}
+	}
+	u := UniformLatency{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if d := u.Delay(0, 1, net.Rng()); d != 5*time.Millisecond {
+		t.Errorf("degenerate uniform = %v", d)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	b := net.AddProcess(&recorder{})
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	net.ResetStats()
+	if st := net.Stats(); st.Delivered != 0 || len(st.MessagesByKind) != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+}
+
+func TestStatsSnapshotIsolation(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	a := net.AddProcess(&recorder{})
+	b := net.AddProcess(&recorder{})
+	net.Send(a, b, testMsg{kind: "m"})
+	net.Run(0)
+	snap := net.Stats()
+	snap.MessagesByKind["m"] = 999
+	if net.Stats().MessagesByKind["m"] != 1 {
+		t.Error("snapshot mutation leaked into live stats")
+	}
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	net := New(FixedLatency(10*time.Millisecond), 1)
+	net.SetBandwidth(1 << 20) // 1 MB/s
+	rb := &recorder{}
+	a := net.AddProcess(&recorder{})
+	b := net.AddProcess(rb)
+	net.Send(a, b, testMsg{kind: "bulk", size: 2 << 20}) // 2 MB -> 2 s
+	net.Run(0)
+	if got, want := net.Now(), 10*time.Millisecond+2*time.Second; got != want {
+		t.Errorf("bulk delivery at %v, want %v", got, want)
+	}
+	// Small messages stay cheap.
+	net.Send(a, b, testMsg{kind: "ctl", size: 100})
+	net.Run(0)
+	if extra := net.Now() - (10*time.Millisecond + 2*time.Second); extra > 15*time.Millisecond {
+		t.Errorf("control message took %v", extra)
+	}
+	// Disabling restores pure latency.
+	net.SetBandwidth(0)
+	before := net.Now()
+	net.Send(a, b, testMsg{kind: "bulk", size: 2 << 20})
+	net.Run(0)
+	if net.Now()-before != 10*time.Millisecond {
+		t.Errorf("disabled bandwidth still delayed: %v", net.Now()-before)
+	}
+	net.SetBandwidth(-5) // negative clamps to off
+	before = net.Now()
+	net.Send(a, b, testMsg{kind: "bulk", size: 1 << 20})
+	net.Run(0)
+	if net.Now()-before != 10*time.Millisecond {
+		t.Error("negative bandwidth not clamped")
+	}
+}
+
+func TestUnknownAddressPanics(t *testing.T) {
+	net := New(FixedLatency(time.Millisecond), 1)
+	net.AddProcess(&recorder{})
+	for _, fn := range []func(){
+		func() { net.Send(0, 5, testMsg{kind: "m"}) },
+		func() { net.Kill(9) },
+		func() { net.CutLink(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

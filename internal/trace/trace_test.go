@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2pshare/internal/simnet"
+)
+
+type msg struct {
+	kind string
+	size int64
+}
+
+func (m msg) Kind() string { return m.kind }
+func (m msg) Size() int64  { return m.size }
+
+type sink struct{}
+
+func (sink) Deliver(*simnet.Network, int, simnet.Message) {}
+
+func runScenario(r *Recorder, seed int64) {
+	net := simnet.New(simnet.DefaultLatency, seed)
+	net.SetObserver(r)
+	a := net.AddProcess(sink{})
+	b := net.AddProcess(sink{})
+	c := net.AddProcess(sink{})
+	for i := 0; i < 20; i++ {
+		net.Send(a, b, msg{"ping", 10})
+		net.Send(b, c, msg{"pong", 20})
+	}
+	net.Run(0)
+}
+
+func TestRecorderCountsAndEvents(t *testing.T) {
+	r := NewRecorder()
+	runScenario(r, 1)
+	if r.Count() != 40 {
+		t.Fatalf("count = %d, want 40", r.Count())
+	}
+	if len(r.Events()) != 40 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+	if len(r.ByKind("ping")) != 20 || len(r.ByKind("pong")) != 20 {
+		t.Error("kind filter wrong")
+	}
+	if len(r.Between(0, 1)) != 20 || len(r.Between(2, 1)) != 20 {
+		t.Error("pair filter wrong")
+	}
+	// Events are ordered by sequence and non-decreasing time.
+	var prev time.Duration
+	for i, e := range r.Events() {
+		if e.Seq != i+1 {
+			t.Fatalf("seq gap at %d", i)
+		}
+		if e.At < prev {
+			t.Fatalf("time went backwards at %d", i)
+		}
+		prev = e.At
+	}
+}
+
+func TestDigestDeterminism(t *testing.T) {
+	a, b := NewDigestOnly(), NewDigestOnly()
+	runScenario(a, 42)
+	runScenario(b, 42)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same seed produced different digests")
+	}
+	c := NewDigestOnly()
+	runScenario(c, 43)
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+	if a.Events() != nil {
+		t.Error("digest-only recorder retained events")
+	}
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	// Two runs with the same multiset of messages but different order
+	// must differ.
+	run := func(swap bool) uint64 {
+		r := NewDigestOnly()
+		net := simnet.New(simnet.FixedLatency(time.Millisecond), 1)
+		net.SetObserver(r)
+		a := net.AddProcess(sink{})
+		b := net.AddProcess(sink{})
+		if swap {
+			net.Send(a, b, msg{"y", 1})
+			net.Send(a, b, msg{"x", 1})
+		} else {
+			net.Send(a, b, msg{"x", 1})
+			net.Send(a, b, msg{"y", 1})
+		}
+		net.Run(0)
+		return r.Digest()
+	}
+	if run(false) == run(true) {
+		t.Fatal("digest insensitive to ordering")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRecorder()
+	runScenario(r, 1)
+	var b strings.Builder
+	r.Dump(&b, 5)
+	out := b.String()
+	if !strings.Contains(out, "ping") {
+		t.Error("dump missing message kind")
+	}
+	if !strings.Contains(out, "35 more") {
+		t.Errorf("dump missing truncation note:\n%s", out)
+	}
+	b.Reset()
+	r.Dump(&b, 0)
+	if strings.Contains(b.String(), "more") {
+		t.Error("full dump should not truncate")
+	}
+}

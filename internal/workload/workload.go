@@ -1,0 +1,130 @@
+// Package workload generates user request streams and environment dynamics
+// for the experiments: queries sampled from document popularities (users
+// ask for popular content more often), popularity drift, and churn plans.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+	"p2pshare/internal/zipf"
+)
+
+// Query is one user request: the origin node asks for m results matching
+// keywords that classify into Category (the §3.3 query form
+// [(k1..kn), m, idQ] — the id is assigned by the overlay).
+type Query struct {
+	Origin   model.NodeID
+	Category catalog.CategoryID
+	Keywords []string
+	M        int
+}
+
+// Generator samples queries: a target document is drawn by popularity, the
+// query asks for that document's category with the category's keywords.
+type Generator struct {
+	inst    *model.Instance
+	sampler *zipf.Sampler
+	rng     *rand.Rand
+	// M is the desired result count per query (the paper bounds it by a
+	// system-wide default, e.g. 50).
+	M int
+}
+
+// NewGenerator builds a generator over the instance's current document
+// popularities. Rebuild it after catalog perturbations.
+func NewGenerator(inst *model.Instance, m int, seed int64) (*Generator, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("workload: m must be positive, got %d", m)
+	}
+	pops := make([]float64, len(inst.Catalog.Docs))
+	for i := range inst.Catalog.Docs {
+		pops[i] = inst.Catalog.Docs[i].Popularity
+	}
+	return &Generator{
+		inst:    inst,
+		sampler: zipf.NewSampler(pops),
+		rng:     rand.New(rand.NewSource(seed)),
+		M:       m,
+	}, nil
+}
+
+// Next draws one query.
+func (g *Generator) Next() Query {
+	d := &g.inst.Catalog.Docs[g.sampler.Sample(g.rng)]
+	cat := d.Categories[g.rng.Intn(len(d.Categories))]
+	return Query{
+		Origin:   model.NodeID(g.rng.Intn(len(g.inst.Nodes))),
+		Category: cat,
+		Keywords: g.inst.Catalog.Cats[cat].Keywords,
+		M:        g.M,
+	}
+}
+
+// Interarrival returns an exponential interarrival time with the given
+// mean (Poisson arrivals).
+func (g *Generator) Interarrival(mean time.Duration) time.Duration {
+	return time.Duration(g.rng.ExpFloat64() * float64(mean))
+}
+
+// ChurnPlan is a deterministic sequence of joins and leaves.
+type ChurnPlan struct {
+	// Leaves lists nodes that will depart, in order.
+	Leaves []model.NodeID
+	// Joins is how many fresh nodes will arrive.
+	Joins int
+}
+
+// PlanChurn samples leaveFraction of the existing nodes to depart and
+// plans joins fresh arrivals.
+func PlanChurn(inst *model.Instance, leaveFraction float64, joins int, rng *rand.Rand) (ChurnPlan, error) {
+	if leaveFraction < 0 || leaveFraction >= 1 {
+		return ChurnPlan{}, fmt.Errorf("workload: leaveFraction %g out of [0,1)", leaveFraction)
+	}
+	n := int(leaveFraction * float64(len(inst.Nodes)))
+	perm := rng.Perm(len(inst.Nodes))
+	plan := ChurnPlan{Joins: joins}
+	for _, i := range perm[:n] {
+		plan.Leaves = append(plan.Leaves, model.NodeID(i))
+	}
+	return plan, nil
+}
+
+// FlashCrowd perturbs the catalog per the paper's §5 stress test: addFrac
+// new documents (relative to the current count) arrive carrying mass of
+// the total popularity, randomly spread over categories, contributed by
+// random existing nodes. It returns the new document ids.
+func FlashCrowd(inst *model.Instance, addFrac, mass float64, rng *rand.Rand) ([]catalog.DocID, error) {
+	return FlashCrowdIn(inst, addFrac, mass, 0, rng)
+}
+
+// FlashCrowdIn is FlashCrowd with the new documents concentrated in
+// `spread` randomly chosen categories (0 means all categories). A small
+// spread models a crowd chasing a few hot topics, which is what forces
+// multi-move rebalancing (§6.4).
+func FlashCrowdIn(inst *model.Instance, addFrac, mass float64, spread int, rng *rand.Rand) ([]catalog.DocID, error) {
+	n := int(addFrac * float64(len(inst.Catalog.Docs)))
+	if n < 1 {
+		n = 1
+	}
+	var cats []catalog.CategoryID
+	if spread > 0 && spread < len(inst.Catalog.Cats) {
+		for _, i := range rng.Perm(len(inst.Catalog.Cats))[:spread] {
+			cats = append(cats, catalog.CategoryID(i))
+		}
+	}
+	ids, err := inst.Catalog.AddDocumentsIn(n, mass, 0.8, cats, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ids {
+		contributor := model.NodeID(rng.Intn(len(inst.Nodes)))
+		if err := inst.AttachDocument(d, contributor); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}

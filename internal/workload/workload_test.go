@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"p2pshare/internal/model"
+)
+
+func testInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 3000
+	cfg.Catalog.NumCats = 60
+	cfg.NumNodes = 300
+	cfg.NumClusters = 12
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	inst := testInstance(t)
+	if _, err := NewGenerator(inst, 0, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewGenerator(inst, -1, 1); err == nil {
+		t.Error("m<0 should fail")
+	}
+}
+
+func TestGeneratorQueriesValid(t *testing.T) {
+	inst := testInstance(t)
+	g, err := NewGenerator(inst, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		q := g.Next()
+		if int(q.Origin) < 0 || int(q.Origin) >= len(inst.Nodes) {
+			t.Fatalf("origin %d out of range", q.Origin)
+		}
+		if inst.Catalog.Cat(q.Category) == nil {
+			t.Fatalf("unknown category %d", q.Category)
+		}
+		if q.M != 3 {
+			t.Fatalf("m = %d", q.M)
+		}
+		if len(q.Keywords) == 0 {
+			t.Fatal("query without keywords")
+		}
+	}
+}
+
+func TestGeneratorFollowsPopularity(t *testing.T) {
+	inst := testInstance(t)
+	g, err := NewGenerator(inst, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		counts[int(g.Next().Category)]++
+	}
+	// The empirically hottest category should be among the genuinely
+	// popular ones: compare the top category's sampled share with its
+	// true popularity.
+	pops := inst.Catalog.CategoryPopularities()
+	for c, n := range counts {
+		got := float64(n) / draws
+		want := pops[c]
+		tol := 4*math.Sqrt(want*(1-want)/draws) + 2e-3
+		if math.Abs(got-want) > tol {
+			t.Errorf("category %d: sampled %.4f, popularity %.4f", c, got, want)
+		}
+	}
+}
+
+func TestInterarrival(t *testing.T) {
+	inst := testInstance(t)
+	g, _ := NewGenerator(inst, 1, 3)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := g.Interarrival(100 * time.Millisecond)
+		if d < 0 {
+			t.Fatal("negative interarrival")
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 90*time.Millisecond || mean > 110*time.Millisecond {
+		t.Errorf("mean interarrival %v, want ~100ms", mean)
+	}
+}
+
+func TestPlanChurn(t *testing.T) {
+	inst := testInstance(t)
+	rng := rand.New(rand.NewSource(1))
+	plan, err := PlanChurn(inst, 0.1, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Leaves) != 30 || plan.Joins != 5 {
+		t.Errorf("plan = %d leaves, %d joins", len(plan.Leaves), plan.Joins)
+	}
+	seen := make(map[model.NodeID]bool)
+	for _, n := range plan.Leaves {
+		if seen[n] {
+			t.Fatal("duplicate leaver")
+		}
+		seen[n] = true
+	}
+	if _, err := PlanChurn(inst, 1.0, 0, rng); err == nil {
+		t.Error("leaveFraction=1 should fail")
+	}
+	if _, err := PlanChurn(inst, -0.1, 0, rng); err == nil {
+		t.Error("negative leaveFraction should fail")
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	inst := testInstance(t)
+	rng := rand.New(rand.NewSource(2))
+	before := inst.DocCount()
+	ids, err := FlashCrowd(inst, 0.05, 0.30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != before/20 {
+		t.Errorf("added %d docs, want %d", len(ids), before/20)
+	}
+	if inst.DocCount() != before+len(ids) {
+		t.Error("doc count mismatch")
+	}
+	// Every new doc has a contributor and the contributor lists it.
+	for _, d := range ids {
+		k := inst.Contributors[d]
+		if k < 0 {
+			t.Fatalf("doc %d has no contributor", d)
+		}
+		found := false
+		for _, di := range inst.Nodes[k].Contributed {
+			if di == d {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("contributor %d does not list doc %d", k, d)
+		}
+	}
+	if math.Abs(inst.Catalog.TotalPopularity()-1) > 1e-9 {
+		t.Error("popularity no longer normalized")
+	}
+}
+
+func TestFlashCrowdIn(t *testing.T) {
+	inst := testInstance(t)
+	rng := rand.New(rand.NewSource(3))
+	ids, err := FlashCrowdIn(inst, 0.05, 0.30, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := make(map[int]bool)
+	for _, d := range ids {
+		cats[int(inst.Catalog.Doc(d).Categories[0])] = true
+	}
+	if len(cats) > 4 {
+		t.Errorf("flash crowd spread over %d categories, want <= 4", len(cats))
+	}
+	// spread=0 means unrestricted.
+	ids2, err := FlashCrowdIn(inst, 0.02, 0.10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids2) == 0 {
+		t.Error("no docs added")
+	}
+}

@@ -1,0 +1,143 @@
+// Package zipf provides ranked Zipf popularity distributions and samplers.
+//
+// The paper assumes document popularities follow a Zipf distribution, as
+// observed for web objects [19, 31] and P2P content [17]: the i-th most
+// popular of n items has probability proportional to 1/i^θ, with realistic
+// θ between 0.6 and 0.8 (paper §4.4 uses θ_doc = 0.8 and θ_cat = 0.7).
+//
+// All randomness is driven by caller-supplied *rand.Rand so experiments are
+// reproducible.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Popularities returns the ranked Zipf probability mass function over n
+// items with parameter theta: p(i) ∝ 1/(i+1)^theta, normalized to sum to 1.
+// theta = 0 yields the uniform distribution. It panics if n <= 0 or
+// theta < 0; popularity ranks are 0-indexed (rank 0 is the most popular).
+func Popularities(n int, theta float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("zipf: n must be positive, got %d", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("zipf: theta must be non-negative, got %g", theta))
+	}
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = 1 / math.Pow(float64(i+1), theta)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Uniform returns the uniform pmf over n items. It panics if n <= 0.
+func Uniform(n int) []float64 {
+	return Popularities(n, 0)
+}
+
+// CoverageCount returns the smallest number of top-ranked items whose
+// cumulative probability reaches at least mass (0 < mass <= 1) under pmf p,
+// assuming p is sorted in descending order (as Popularities returns).
+// The paper (§4.3.3) observes that for realistic Zipf distributions fewer
+// than 10% of documents cover more than 35% of the probability mass; this
+// helper verifies that claim.
+func CoverageCount(p []float64, mass float64) int {
+	var cum float64
+	for i, x := range p {
+		cum += x
+		if cum >= mass {
+			return i + 1
+		}
+	}
+	return len(p)
+}
+
+// Sampler draws item indices from an arbitrary discrete distribution in
+// O(1) per sample using Walker's alias method. It is safe for sequential
+// use only; guard with your own lock or use per-goroutine samplers.
+type Sampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewSampler builds an alias-method sampler over the weights w (need not be
+// normalized). It panics if w is empty, contains a negative weight, or sums
+// to zero.
+func NewSampler(w []float64) *Sampler {
+	n := len(w)
+	if n == 0 {
+		panic("zipf: NewSampler needs at least one weight")
+	}
+	var sum float64
+	for i, x := range w {
+		if x < 0 {
+			panic(fmt.Sprintf("zipf: negative weight %g at index %d", x, i))
+		}
+		sum += x
+	}
+	if sum == 0 {
+		panic("zipf: weights sum to zero")
+	}
+	s := &Sampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scale weights so the average bucket holds probability exactly 1.
+	scaled := make([]float64, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / sum
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, x := range scaled {
+		if x < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] -= 1 - scaled[l]
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through fp round-off; these buckets are ~1.
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s
+}
+
+// N returns the number of items the sampler draws from.
+func (s *Sampler) N() int { return len(s.prob) }
+
+// Sample draws one item index using rng.
+func (s *Sampler) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}

@@ -1,0 +1,233 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopularitiesNormalized(t *testing.T) {
+	for _, n := range []int{1, 2, 100, 10000} {
+		for _, theta := range []float64{0, 0.4, 0.7, 0.8, 1, 1.5} {
+			p := Popularities(n, theta)
+			var sum float64
+			for _, x := range p {
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("Popularities(%d, %g) sums to %g", n, theta, sum)
+			}
+		}
+	}
+}
+
+func TestPopularitiesMonotone(t *testing.T) {
+	p := Popularities(1000, 0.8)
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[i-1] {
+			t.Fatalf("pmf not non-increasing at %d: %g > %g", i, p[i], p[i-1])
+		}
+	}
+}
+
+func TestPopularitiesUniform(t *testing.T) {
+	p := Popularities(10, 0)
+	for i, x := range p {
+		if math.Abs(x-0.1) > 1e-12 {
+			t.Errorf("uniform pmf[%d] = %g, want 0.1", i, x)
+		}
+	}
+	u := Uniform(10)
+	for i := range u {
+		if u[i] != p[i] {
+			t.Errorf("Uniform != Popularities(theta=0) at %d", i)
+		}
+	}
+}
+
+func TestPopularitiesKnownRatios(t *testing.T) {
+	// With theta=1, p(rank0)/p(rank1) should be exactly 2.
+	p := Popularities(10, 1)
+	if r := p[0] / p[1]; math.Abs(r-2) > 1e-12 {
+		t.Errorf("theta=1 rank ratio = %g, want 2", r)
+	}
+}
+
+func TestPopularitiesPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Popularities(0, 0.5) },
+		func() { Popularities(-3, 0.5) },
+		func() { Popularities(5, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPopularitiesNormalizedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		theta := r.Float64() * 2
+		p := Popularities(n, theta)
+		var sum float64
+		prev := math.Inf(1)
+		for _, x := range p {
+			if x <= 0 || x > prev {
+				return false
+			}
+			prev = x
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageCount(t *testing.T) {
+	p := []float64{0.5, 0.3, 0.2}
+	cases := []struct {
+		mass float64
+		want int
+	}{
+		{0.4, 1},
+		{0.5, 1},
+		{0.6, 2},
+		{0.8, 2},
+		{0.9, 3},
+		{1.0, 3},
+	}
+	for _, c := range cases {
+		if got := CoverageCount(p, c.mass); got != c.want {
+			t.Errorf("CoverageCount(%g) = %d, want %d", c.mass, got, c.want)
+		}
+	}
+}
+
+func TestCoverageCountPaperClaim(t *testing.T) {
+	// Paper §4.3.3: "less than 10% of all documents typically total more
+	// than 35% of the document probability mass for practically all
+	// realistic different Zipf distributions."
+	for _, theta := range []float64{0.6, 0.7, 0.8} {
+		for _, n := range []int{1000, 10000, 200000} {
+			p := Popularities(n, theta)
+			k := CoverageCount(p, 0.35)
+			if frac := float64(k) / float64(n); frac >= 0.10 {
+				t.Errorf("theta=%g n=%d: %.1f%% of docs needed for 35%% mass, paper claims <10%%",
+					theta, n, frac*100)
+			}
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := Popularities(50, 0.8)
+	s := NewSampler(w)
+	const draws = 500000
+	counts := make([]int, 50)
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, want := range w {
+		got := float64(counts[i]) / draws
+		// 3-sigma-ish tolerance on a binomial proportion.
+		tol := 4*math.Sqrt(want*(1-want)/draws) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Errorf("item %d: empirical %g, want %g (tol %g)", i, got, want, tol)
+		}
+	}
+}
+
+func TestSamplerUnnormalizedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSampler([]float64{2, 6}) // 25% / 75%
+	const draws = 200000
+	var ones int
+	for i := 0; i < draws; i++ {
+		if s.Sample(rng) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / draws
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(1) = %g, want 0.75", got)
+	}
+}
+
+func TestSamplerZeroWeightNeverDrawn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSampler([]float64{1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		if s.Sample(rng) == 1 {
+			t.Fatal("zero-weight item sampled")
+		}
+	}
+}
+
+func TestSamplerSingleItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSampler([]float64{3})
+	if s.N() != 1 {
+		t.Fatalf("N = %d, want 1", s.N())
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.Sample(rng); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for weights %v", w)
+				}
+			}()
+			NewSampler(w)
+		}()
+	}
+}
+
+func TestSamplerAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		w[r.Intn(n)] += 0.5
+		s := NewSampler(w)
+		for i := 0; i < 200; i++ {
+			k := s.Sample(r)
+			if k < 0 || k >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSampler(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSampler(Popularities(200000, 0.8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}

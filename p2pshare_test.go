@@ -1,0 +1,183 @@
+package p2pshare_test
+
+import (
+	"testing"
+
+	"p2pshare"
+)
+
+func smallConfig() p2pshare.Config {
+	cfg := p2pshare.DefaultConfig()
+	cfg.Documents = 3000
+	cfg.Categories = 60
+	cfg.Nodes = 300
+	cfg.Clusters = 12
+	return cfg
+}
+
+func TestNewAndBalance(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumNodes() != 300 || sys.NumCategories() != 60 || sys.NumDocuments() != 3000 {
+		t.Fatalf("sizes: %d nodes %d cats %d docs",
+			sys.NumNodes(), sys.NumCategories(), sys.NumDocuments())
+	}
+	bal, err := sys.PlannedBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Fairness < 0.95 {
+		t.Errorf("planned fairness %g < 0.95", bal.Fairness)
+	}
+	if len(bal.NormalizedPopularities) != 12 {
+		t.Errorf("norm pops cover %d clusters", len(bal.NormalizedPopularities))
+	}
+}
+
+func TestKeywordQuery(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kws := sys.CategoryKeywords(0)
+	if len(kws) == 0 {
+		t.Fatal("no keywords for category 0")
+	}
+	res, err := sys.Query(5, kws[:1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Results < 2 {
+		t.Errorf("query result %+v", res)
+	}
+	if res.ResponseTime <= 0 || res.Hops < 1 {
+		t.Errorf("query metrics %+v", res)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(5, []string{"nonsense-keyword"}, 1); err == nil {
+		t.Error("unmatched keywords should error")
+	}
+	if _, err := sys.Query(p2pshare.NodeID(99999), sys.CategoryKeywords(0)[:1], 1); err == nil {
+		t.Error("unknown origin should error")
+	}
+	if _, err := sys.QueryCategory(0, p2pshare.CategoryID(9999), 1); err == nil {
+		t.Error("unknown category should error")
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := sys.RunWorkload(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.9 {
+		t.Errorf("completion rate %g < 0.9", rate)
+	}
+	loads := sys.ServedLoads()
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	if total == 0 {
+		t.Error("no load recorded")
+	}
+	sys.ResetLoadCounters()
+	if sys.MeasuredBalance().NormalizedPopularities == nil {
+		t.Error("measured balance should exist")
+	}
+}
+
+func TestPublishNewAndQuery(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.PublishNew(7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Error("expected a fresh doc id")
+	}
+	if _, err := sys.PlannedBalance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAndLeave(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.NumNodes()
+	id, err := sys.Join(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumNodes() != before+1 {
+		t.Errorf("nodes = %d, want %d", sys.NumNodes(), before+1)
+	}
+	if err := sys.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Leave(p2pshare.NodeID(99999)); err == nil {
+		t.Error("leaving unknown node should error")
+	}
+}
+
+func TestShiftAndAdapt(t *testing.T) {
+	sys, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ShiftPopularity(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWorkload(400); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Adapt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Leaders) == 0 {
+		t.Error("adaptation elected no leaders")
+	}
+	if rep.MeasuredFairness < 0 || rep.MeasuredFairness > 1 {
+		t.Errorf("measured fairness %g out of range", rep.MeasuredFairness)
+	}
+}
+
+func TestDeterministicSystems(t *testing.T) {
+	a, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2pshare.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Query(3, a.CategoryKeywords(1)[:1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Query(3, b.CategoryKeywords(1)[:1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Errorf("same seed produced %+v vs %+v", ra, rb)
+	}
+}
