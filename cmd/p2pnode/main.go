@@ -22,12 +22,32 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/livenet"
 	"p2pshare/internal/model"
 )
+
+// printStats dumps the node's transport/protocol counters and its query
+// latency histogram in a stable order.
+func printStats(node *livenet.Node) {
+	s := node.Stats()
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Print("stats:")
+	for _, k := range keys {
+		fmt.Printf(" %s=%d", k, s[k])
+	}
+	fmt.Println()
+	if lat := node.QueryLatency(); lat.Count() > 0 {
+		fmt.Printf("query latency (ms): %s\n", lat.Summary())
+	}
+}
 
 func main() {
 	id := flag.Int("id", 0, "this process's node id within the shape")
@@ -41,6 +61,7 @@ func main() {
 	query := flag.Int("query", -1, "category id to query periodically (-1 = serve only)")
 	every := flag.Duration("every", 2*time.Second, "query interval")
 	m := flag.Int("m", 3, "results per query")
+	statsEvery := flag.Duration("stats", 0, "print transport counters on this interval (0 = only at exit)")
 	flag.Parse()
 
 	shape := livenet.Shape{
@@ -58,11 +79,25 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
+	defer printStats(node)
+
+	var statsTick <-chan time.Time
+	if *statsEvery > 0 {
+		st := time.NewTicker(*statsEvery)
+		defer st.Stop()
+		statsTick = st.C
+	}
 
 	if *query < 0 {
 		fmt.Println("serving; ctrl-c to exit")
-		<-stop
-		return
+		for {
+			select {
+			case <-statsTick:
+				printStats(node)
+			case <-stop:
+				return
+			}
+		}
 	}
 
 	cat := catalog.CategoryID(*query)
@@ -77,6 +112,8 @@ func main() {
 				continue
 			}
 			fmt.Printf("query category %d: %d results in %d hop(s)\n", cat, len(out.Docs), out.Hops)
+		case <-statsTick:
+			printStats(node)
 		case <-stop:
 			return
 		}

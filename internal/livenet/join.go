@@ -93,7 +93,7 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*No
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen %s: %w", listenAddr, err)
 	}
-	n := newBareNode(inst, id, ln, sh.Seed)
+	n := newNode(inst, id, ln, sh.Seed)
 	for _, d := range place.Stored[id] {
 		n.storeDoc(d)
 	}
@@ -132,59 +132,50 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*No
 	return n, nil
 }
 
-// newBareNode builds a Node with empty state and its own private address
-// book (multi-process semantics: no sharing).
-func newBareNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64) *Node {
-	return &Node{
-		id:      id,
-		inst:    inst,
-		ln:      ln,
-		rng:     newNodeRng(seed, id),
-		book:    map[model.NodeID]string{id: ln.Addr().String()},
-		inbox:   make(chan envelope, 256),
-		cmds:    make(chan command, 16),
-		done:    make(chan struct{}),
-		dt:      make(map[catalog.DocID]catalog.CategoryID),
-		byCat:   make(map[catalog.CategoryID][]catalog.DocID),
-		dcrt:    make(map[catalog.CategoryID]overlay.DCRTEntry),
-		nrt:     make(map[model.ClusterID][]model.NodeID),
-		seen:    make(map[uint64]bool),
-		pending: make(map[uint64]*pendingQuery),
-	}
-}
-
-// Close shuts down a standalone node.
+// Close shuts down a standalone node and waits for all of its goroutines
+// (event loop, accept loop, transport writers, inbound read loops).
 func (n *Node) Close() {
-	select {
-	case <-n.done:
-	default:
-		close(n.done)
-	}
-	n.ln.Close()
+	n.shutdown()
 	n.wg.Wait()
 }
 
 // announce sends a hello to the bootstrap address directly (it is not in
-// the book yet) and waits briefly for the book to arrive.
+// the book yet) and waits for the book to arrive. The hello is re-sent a
+// few times while waiting: the bootstrap's reply can be lost into a
+// stale stream it still holds toward our pre-restart incarnation, and
+// only its next send (after the reconnect) gets through.
 func (n *Node) announce(bootstrapAddr string) error {
-	conn, err := net.DialTimeout("tcp", bootstrapAddr, 3*time.Second)
-	if err != nil {
-		return fmt.Errorf("livenet: bootstrap %s: %w", bootstrapAddr, err)
-	}
-	env := envelope{From: n.id, Msg: helloMsg{ID: n.id, Addr: n.Addr()}}
-	err = gob.NewEncoder(conn).Encode(env)
-	conn.Close()
-	if err != nil {
-		return fmt.Errorf("livenet: announce: %w", err)
-	}
-	// The book arrives asynchronously; give it a moment so the caller can
-	// query immediately after joining.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if n.KnownPeers() > 1 {
-			return nil
+	hello := func() error {
+		conn, err := net.DialTimeout("tcp", bootstrapAddr, 3*time.Second)
+		if err != nil {
+			return fmt.Errorf("livenet: bootstrap %s: %w", bootstrapAddr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		defer conn.Close()
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		env := envelope{From: n.id, Msg: helloMsg{ID: n.id, Addr: n.Addr()}}
+		if err := gob.NewEncoder(conn).Encode(env); err != nil {
+			return fmt.Errorf("livenet: announce: %w", err)
+		}
+		return nil
+	}
+	if err := hello(); err != nil {
+		return err
+	}
+	// The book arrives asynchronously; poll briefly so the caller can
+	// query immediately after joining, re-announcing between polls.
+	for attempt := 0; attempt < 5; attempt++ {
+		deadline := time.Now().Add(600 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if n.KnownPeers() > 1 {
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if attempt < 4 {
+			if err := hello(); err != nil {
+				return err
+			}
+		}
 	}
 	return fmt.Errorf("livenet: no address book received from %s", bootstrapAddr)
 }
@@ -204,10 +195,11 @@ func (n *Node) KnownPeers() int {
 // handleHello merges the newcomer into the book, replies with the full
 // book, and forwards the hello once to every peer this node knew before
 // (so the whole deployment learns the address without a broadcast storm).
+// A duplicate announcement — a peer restarting on its old address —
+// still gets the book reply (the restarted process lost its copy); only
+// the forwarding is suppressed.
 func (n *Node) handleHello(m helloMsg) {
-	if _, known := n.book[m.ID]; known && n.book[m.ID] == m.Addr {
-		return // duplicate announcement
-	}
+	duplicate := n.book[m.ID] == m.Addr
 	prior := make([]model.NodeID, 0, len(n.book))
 	for id := range n.book {
 		if id != n.id && id != m.ID {
@@ -220,6 +212,9 @@ func (n *Node) handleHello(m helloMsg) {
 		book[id] = addr
 	}
 	n.send(m.ID, bookMsg{Book: book})
+	if duplicate {
+		return
+	}
 	for _, id := range prior {
 		n.send(id, m)
 	}

@@ -10,7 +10,9 @@
 // owns all peer state. The TCP accept loop and the public API feed it
 // through one channel, so handlers are lock-free and ordering per peer is
 // serial — the same discipline the paper's per-node protocol descriptions
-// assume.
+// assume. Outbound messages go through a per-peer persistent-connection
+// pool (transport.go): one framed gob stream per destination, reused
+// across messages, with reconnect-on-failure and capped backoff.
 package livenet
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/replica"
@@ -37,7 +40,22 @@ func init() {
 	gob.Register(overlay.PublishAckMsg{})
 }
 
-// envelope frames every wire message with its sender.
+const (
+	// sweepInterval paces the event loop's housekeeping tick: the seen
+	// set rotates one generation (so loop-detection state lives between
+	// one and two intervals instead of forever) and pending queries past
+	// their deadline are expired.
+	sweepInterval = 2 * time.Second
+	// pendingGrace pads a pending query's expiry past the caller's own
+	// timeout, so the sweep only reaps entries whose caller is gone.
+	pendingGrace = 5 * time.Second
+	// readIdleTimeout reaps inbound connections that go silent — a peer
+	// that died without closing its socket.
+	readIdleTimeout = 2 * time.Minute
+)
+
+// envelope frames every wire message with its sender. One connection
+// carries a stream of envelopes (gob frames them naturally).
 type envelope struct {
 	From model.NodeID
 	Msg  any
@@ -50,16 +68,18 @@ type QueryOutcome struct {
 	Done bool
 	// Docs are the distinct documents received.
 	Docs []catalog.DocID
-	// Hops is the forwarding distance of the completing result.
+	// Hops is the largest forwarding distance over the contributing
+	// results.
 	Hops int
 }
 
 // pendingQuery tracks a query issued by this node.
 type pendingQuery struct {
-	want int
-	docs map[catalog.DocID]bool
-	hops int
-	ch   chan QueryOutcome
+	want     int
+	docs     map[catalog.DocID]bool
+	hops     int
+	ch       chan QueryOutcome
+	deadline time.Time
 }
 
 // command is an API request executed inside the event loop.
@@ -72,8 +92,8 @@ type Node struct {
 	ln   net.Listener
 	rng  *rand.Rand
 
-	// book maps node ids to listen addresses (shared, read-only after
-	// launch).
+	// book maps node ids to listen addresses (owned by the event loop:
+	// handleHello and handleBook mutate it).
 	book map[model.NodeID]string
 
 	inbox chan envelope
@@ -81,16 +101,65 @@ type Node struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// tr is the outbound persistent-connection pool; stats and latency
+	// are shared with it and safe for concurrent use.
+	tr      *transport
+	stats   *metrics.SyncCounter
+	latency *metrics.SyncHistogram
+
+	// conns tracks accepted inbound connections so Close can unblock
+	// their read loops.
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
 	// Peer state — owned by the event loop.
 	dt      map[catalog.DocID]catalog.CategoryID
 	byCat   map[catalog.CategoryID][]catalog.DocID
 	dcrt    map[catalog.CategoryID]overlay.DCRTEntry
 	nrt     map[model.ClusterID][]model.NodeID
-	seen    map[uint64]bool
 	pending map[uint64]*pendingQuery
 	served  int64
 
+	// seen dedups query ids in two generations; the sweep rotates them
+	// so the set stays bounded on a long-lived node.
+	seenCur  map[uint64]struct{}
+	seenPrev map[uint64]struct{}
+
 	nextQuery uint64
+}
+
+// newNode builds a Node with empty peer state, its own private address
+// book, and an idle transport.
+func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64) *Node {
+	stats := metrics.NewSyncCounter()
+	n := &Node{
+		id:       id,
+		inst:     inst,
+		ln:       ln,
+		rng:      newNodeRng(seed, id),
+		book:     map[model.NodeID]string{id: ln.Addr().String()},
+		inbox:    make(chan envelope, 256),
+		cmds:     make(chan command, 16),
+		done:     make(chan struct{}),
+		tr:       newTransport(id, seed, stats),
+		stats:    stats,
+		latency:  &metrics.SyncHistogram{},
+		conns:    make(map[net.Conn]struct{}),
+		dt:       make(map[catalog.DocID]catalog.CategoryID),
+		byCat:    make(map[catalog.CategoryID][]catalog.DocID),
+		dcrt:     make(map[catalog.CategoryID]overlay.DCRTEntry),
+		nrt:      make(map[model.ClusterID][]model.NodeID),
+		pending:  make(map[uint64]*pendingQuery),
+		seenCur:  make(map[uint64]struct{}),
+		seenPrev: make(map[uint64]struct{}),
+	}
+	n.tr.onPeerDown = func(peer model.NodeID) {
+		select {
+		case n.cmds <- func(n *Node) { n.evictPeer(peer) }:
+		case <-n.done:
+		}
+	}
+	return n
 }
 
 // ID returns the node's id.
@@ -111,10 +180,38 @@ func (n *Node) Served() int64 {
 	}
 }
 
-// Cluster is a set of live peers sharing one address book.
+// Stats snapshots the node's transport and protocol counters
+// (transport_dials, transport_reuses, transport_reconnects,
+// transport_retries, transport_send_failures, drop_no_route, …) plus the
+// current outbound queue depth under "queue_depth".
+func (n *Node) Stats() map[string]int64 {
+	s := n.stats.Snapshot()
+	s["queue_depth"] = int64(n.tr.queueDepth())
+	return s
+}
+
+// QueryLatency exposes the node's query-latency histogram (milliseconds,
+// completed queries only).
+func (n *Node) QueryLatency() *metrics.SyncHistogram { return n.latency }
+
+// Cluster is a set of live peers sharing one deployment.
 type Cluster struct {
 	Nodes []*Node
 	inst  *model.Instance
+}
+
+// Stats aggregates every node's counters (queue depths included).
+func (c *Cluster) Stats() map[string]int64 {
+	total := make(map[string]int64)
+	for _, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
+		for k, v := range n.Stats() {
+			total[k] += v
+		}
+	}
+	return total
 }
 
 // Launch starts one TCP peer per instance node on loopback ports, primes
@@ -140,22 +237,7 @@ func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Place
 			c.Close()
 			return nil, fmt.Errorf("livenet: listen: %w", err)
 		}
-		n := &Node{
-			id:      inst.Nodes[k].ID,
-			inst:    inst,
-			ln:      ln,
-			rng:     rand.New(rand.NewSource(seed + int64(k) + 1)),
-			book:    book,
-			inbox:   make(chan envelope, 256),
-			cmds:    make(chan command, 16),
-			done:    make(chan struct{}),
-			dt:      make(map[catalog.DocID]catalog.CategoryID),
-			byCat:   make(map[catalog.CategoryID][]catalog.DocID),
-			dcrt:    make(map[catalog.CategoryID]overlay.DCRTEntry),
-			nrt:     make(map[model.ClusterID][]model.NodeID),
-			seen:    make(map[uint64]bool),
-			pending: make(map[uint64]*pendingQuery),
-		}
+		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k))
 		book[n.id] = ln.Addr().String()
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -216,11 +298,9 @@ func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Place
 	// handleBook mutate it inside the owning event loop, which would race
 	// on a shared map.
 	for _, n := range c.Nodes {
-		private := make(map[model.NodeID]string, len(book))
 		for id, addr := range book {
-			private[id] = addr
+			n.book[id] = addr
 		}
-		n.book = private
 	}
 
 	for _, n := range c.Nodes {
@@ -239,21 +319,33 @@ func newNodeRng(seed int64, id model.NodeID) *rand.Rand {
 // Close shuts every peer down and waits for their loops to exit.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
-		if n == nil {
-			continue
+		if n != nil {
+			n.shutdown()
 		}
-		select {
-		case <-n.done:
-		default:
-			close(n.done)
-		}
-		n.ln.Close()
 	}
 	for _, n := range c.Nodes {
 		if n != nil {
 			n.wg.Wait()
 		}
 	}
+}
+
+// shutdown signals every goroutine belonging to the node: the event and
+// accept loops (done / listener), the transport writers, and the inbound
+// read loops (closing their connections unblocks Decode). Idempotent.
+func (n *Node) shutdown() {
+	select {
+	case <-n.done:
+	default:
+		close(n.done)
+	}
+	n.ln.Close()
+	n.tr.close()
+	n.connsMu.Lock()
+	for conn := range n.conns {
+		conn.Close()
+	}
+	n.connsMu.Unlock()
 }
 
 func (n *Node) storeDoc(d catalog.DocID) {
@@ -277,7 +369,29 @@ func (n *Node) addNeighbor(cl model.ClusterID, nb model.NodeID) {
 	n.nrt[cl] = append(n.nrt[cl], nb)
 }
 
-// acceptLoop turns incoming TCP connections into inbox envelopes.
+// evictPeer removes a dead peer from every NRT entry (the transport
+// reports it after repeated dial failures). Queries stop routing through
+// the peer; if it comes back, hello/publish traffic re-adds it.
+func (n *Node) evictPeer(peer model.NodeID) {
+	evicted := false
+	for cl, members := range n.nrt {
+		kept := members[:0]
+		for _, m := range members {
+			if m == peer {
+				evicted = true
+				continue
+			}
+			kept = append(kept, m)
+		}
+		n.nrt[cl] = kept
+	}
+	if evicted {
+		n.stats.Add("nrt_evictions", 1)
+	}
+}
+
+// acceptLoop registers incoming TCP connections and hands each to a
+// read loop that decodes envelopes off the stream until it closes.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -285,35 +399,92 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-			var env envelope
-			if err := gob.NewDecoder(conn).Decode(&env); err != nil {
-				return
-			}
-			select {
-			case n.inbox <- env:
-			case <-n.done:
-			}
-		}(conn)
+		n.connsMu.Lock()
+		n.conns[conn] = struct{}{}
+		n.connsMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
 	}
 }
 
-// eventLoop owns the node state.
+// readLoop decodes a stream of envelopes off one inbound connection —
+// the receive half of the persistent-connection transport.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.connsMu.Lock()
+		delete(n.conns, conn)
+		n.connsMu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(readIdleTimeout))
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // stream closed, peer died, or idle timeout
+		}
+		select {
+		case n.inbox <- env:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// eventLoop owns the node state. A housekeeping tick bounds the seen set
+// and expires orphaned pending queries.
 func (n *Node) eventLoop() {
 	defer n.wg.Done()
+	ticker := time.NewTicker(sweepInterval)
+	defer ticker.Stop()
 	for {
 		select {
 		case env := <-n.inbox:
 			n.dispatch(env)
 		case cmd := <-n.cmds:
 			cmd(n)
+		case <-ticker.C:
+			n.sweep(time.Now())
 		case <-n.done:
 			return
 		}
 	}
 }
+
+// sweep rotates the seen-set generations (entries survive one to two
+// intervals — long enough for loop detection, bounded forever after) and
+// reaps pending queries whose deadline passed, delivering whatever
+// partial outcome accumulated.
+func (n *Node) sweep(now time.Time) {
+	n.seenPrev = n.seenCur
+	n.seenCur = make(map[uint64]struct{})
+	for id, pq := range n.pending {
+		if !now.After(pq.deadline) {
+			continue
+		}
+		out := QueryOutcome{Hops: pq.hops}
+		for d := range pq.docs {
+			out.Docs = append(out.Docs, d)
+		}
+		select {
+		case pq.ch <- out:
+		default: // caller long gone
+		}
+		delete(n.pending, id)
+		n.stats.Add("pending_expired", 1)
+	}
+}
+
+func (n *Node) seenBefore(id uint64) bool {
+	if _, ok := n.seenCur[id]; ok {
+		return true
+	}
+	_, ok := n.seenPrev[id]
+	return ok
+}
+
+func (n *Node) markSeen(id uint64) { n.seenCur[id] = struct{}{} }
 
 func (n *Node) dispatch(env envelope) {
 	switch m := env.Msg.(type) {
@@ -332,67 +503,98 @@ func (n *Node) dispatch(env envelope) {
 	}
 }
 
-// send dials the target and writes one envelope (fire and forget — P2P
-// messages are best-effort, exactly as in the simulator).
+// send queues one envelope on the persistent transport (fire and forget —
+// P2P messages are best-effort, exactly as in the simulator; the
+// transport retries and reconnects under the hood). Must be called from
+// the event loop: it reads the address book.
 func (n *Node) send(to model.NodeID, msg any) {
 	addr, ok := n.book[to]
 	if !ok {
+		n.stats.Add("send_no_addr", 1)
 		return
 	}
-	go func() {
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		_ = gob.NewEncoder(conn).Encode(envelope{From: n.id, Msg: msg})
-	}()
+	n.tr.enqueue(to, addr, envelope{From: n.id, Msg: msg})
 }
 
 // ErrTimeout reports a query that did not complete before its deadline.
 var ErrTimeout = errors.New("livenet: query timed out")
 
+// ErrNoRoute reports a category with no DCRT entry or no reachable
+// members in its serving cluster — the caller gets an explicit error
+// instead of the load being silently dumped on cluster 0.
+var ErrNoRoute = errors.New("livenet: no route to category cluster")
+
+// ErrClosed reports an API call on a node that has shut down.
+var ErrClosed = errors.New("livenet: node closed")
+
 // Query runs the §3.3 protocol for a category over the live network and
 // blocks until m distinct documents arrive or the timeout expires (in
-// which case the partial outcome and ErrTimeout are returned).
+// which case the partial outcome and ErrTimeout are returned). A
+// category this node cannot route fails fast with ErrNoRoute.
 func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (QueryOutcome, error) {
+	start := time.Now()
 	ch := make(chan QueryOutcome, 1)
-	var issued bool
+	errc := make(chan error, 1)
 	select {
 	case n.cmds <- func(n *Node) {
-		n.nextQuery++
-		id := n.nextQuery<<16 | uint64(n.id)&0xffff
-		pq := &pendingQuery{want: m, docs: make(map[catalog.DocID]bool), ch: ch}
-		n.pending[id] = pq
 		entry, ok := n.dcrt[cat]
 		if !ok {
-			entry = overlay.DCRTEntry{Cluster: 0}
+			n.stats.Add("query_no_route", 1)
+			errc <- ErrNoRoute
+			return
 		}
 		members := n.nrt[entry.Cluster]
+		// Prefer members this node can actually address: the static NRT
+		// priming lists peers that may never have joined this deployment,
+		// and a query sent to one of those is a guaranteed timeout.
+		var reachable []model.NodeID
+		for _, m := range members {
+			if _, ok := n.book[m]; ok {
+				reachable = append(reachable, m)
+			}
+		}
+		if len(reachable) > 0 {
+			members = reachable
+		}
 		if len(members) == 0 {
-			ch <- QueryOutcome{}
-			delete(n.pending, id)
+			n.stats.Add("query_no_route", 1)
+			errc <- ErrNoRoute
 			return
+		}
+		n.nextQuery++
+		id := n.nextQuery<<16 | uint64(n.id)&0xffff
+		n.pending[id] = &pendingQuery{
+			want:     m,
+			docs:     make(map[catalog.DocID]bool),
+			ch:       ch,
+			deadline: time.Now().Add(timeout + pendingGrace),
 		}
 		target := members[n.rng.Intn(len(members))]
 		n.send(target, overlay.QueryMsg{
 			ID: id, Category: cat, Want: m, Origin: n.id, Hops: 1, Entry: true,
 		})
+		errc <- nil
 	}:
-		issued = true
 	case <-n.done:
+		return QueryOutcome{}, ErrClosed
 	}
-	if !issued {
-		return QueryOutcome{}, errors.New("livenet: node closed")
+	select {
+	case err := <-errc:
+		if err != nil {
+			return QueryOutcome{}, err
+		}
+	case <-n.done:
+		return QueryOutcome{}, ErrClosed
 	}
 	select {
 	case out := <-ch:
-		if !out.Done && out.Docs == nil {
-			return out, errors.New("livenet: no route to category cluster")
-		}
+		n.latency.ObserveDuration(time.Since(start))
+		n.stats.Add("queries_ok", 1)
 		return out, nil
+	case <-n.done:
+		return QueryOutcome{}, ErrClosed
 	case <-time.After(timeout):
+		n.stats.Add("query_timeouts", 1)
 		// Collect the partial state.
 		partial := make(chan QueryOutcome, 1)
 		select {
@@ -418,15 +620,18 @@ func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (Quer
 	}
 }
 
-// handleQuery mirrors the simulated overlay's §3.3 target-node logic.
+// handleQuery mirrors the simulated overlay's §3.3 target-node logic. A
+// query for a category this node has no DCRT entry for is dropped (and
+// counted) instead of being misrouted into cluster 0.
 func (n *Node) handleQuery(m overlay.QueryMsg) {
-	if n.seen[m.ID] {
+	if n.seenBefore(m.ID) {
 		return
 	}
-	n.seen[m.ID] = true
+	n.markSeen(m.ID)
 	entry, ok := n.dcrt[m.Category]
 	if !ok {
-		entry = overlay.DCRTEntry{Cluster: 0}
+		n.stats.Add("drop_no_route", 1)
+		return
 	}
 	var matches []catalog.DocID
 	for _, d := range n.byCat[m.Category] {
@@ -463,7 +668,9 @@ func (n *Node) handleResult(m overlay.ResultMsg) {
 		pq.hops = m.Hops
 	}
 	if len(pq.docs) >= pq.want {
-		out := QueryOutcome{Done: true, Hops: m.Hops}
+		// Report the farthest contributing result, not whichever message
+		// happened to complete the set.
+		out := QueryOutcome{Done: true, Hops: pq.hops}
 		for d := range pq.docs {
 			out.Docs = append(out.Docs, d)
 		}
@@ -473,19 +680,23 @@ func (n *Node) handleResult(m overlay.ResultMsg) {
 }
 
 // Publish announces a (locally stored) document to the cluster serving
-// its category — the §6.2 protocol over TCP.
+// its category — the §6.2 protocol over TCP. Publishing a category with
+// no DCRT entry fails with ErrNoRoute.
 func (n *Node) Publish(d catalog.DocID) error {
 	doc := n.inst.Catalog.Doc(d)
 	if doc == nil {
 		return fmt.Errorf("livenet: unknown document %d", d)
 	}
+	errc := make(chan error, 1)
 	select {
 	case n.cmds <- func(n *Node) {
 		n.storeDoc(d)
 		cat := doc.Categories[0]
 		entry, ok := n.dcrt[cat]
 		if !ok {
-			entry = overlay.DCRTEntry{Cluster: 0}
+			n.stats.Add("publish_no_route", 1)
+			errc <- ErrNoRoute
+			return
 		}
 		for i, nb := range n.nrt[entry.Cluster] {
 			if i == 3 {
@@ -493,25 +704,29 @@ func (n *Node) Publish(d catalog.DocID) error {
 			}
 			n.send(nb, overlay.PublishMsg{Doc: d, Category: cat, Publisher: n.id})
 		}
+		errc <- nil
 	}:
-		return nil
 	case <-n.done:
-		return errors.New("livenet: node closed")
+		return ErrClosed
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-n.done:
+		return ErrClosed
 	}
 }
 
+// handlePublish acknowledges a publish into a cluster this node can
+// route; an unroutable category is dropped (and counted) rather than
+// fabricating a cluster-0 entry.
 func (n *Node) handlePublish(from model.NodeID, m overlay.PublishMsg) {
 	entry, known := n.dcrt[m.Category]
 	if !known {
-		entry = overlay.DCRTEntry{Cluster: 0}
-		n.dcrt[m.Category] = entry
+		n.stats.Add("drop_no_route", 1)
+		return
 	}
-	accepted := false
-	for _, nb := range n.nrt[entry.Cluster] {
-		_ = nb
-		accepted = true
-		break
-	}
+	accepted := len(n.nrt[entry.Cluster]) > 0
 	n.addNeighbor(entry.Cluster, m.Publisher)
 	sample := n.nrt[entry.Cluster]
 	if len(sample) > 8 {

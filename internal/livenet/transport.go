@@ -1,0 +1,265 @@
+package livenet
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"p2pshare/internal/metrics"
+	"p2pshare/internal/model"
+)
+
+// The live transport keeps ONE persistent framed gob stream per
+// (sender, receiver) pair instead of dialing a fresh TCP connection for
+// every message. Each destination peer gets a bounded outbound queue
+// drained by a dedicated writer goroutine that dials lazily, reuses the
+// established stream, and reconnects on failure with capped exponential
+// backoff plus jitter. Messages carry a small retry budget; a message
+// that exhausts it is dropped (the protocols are best-effort, exactly as
+// in the simulator) and counted. After enough consecutive dial failures
+// the transport reports the peer as down so the node can evict it from
+// its NRT — graceful degradation instead of silently routing into a
+// black hole.
+const (
+	// dialTimeout bounds one connection attempt.
+	dialTimeout = 2 * time.Second
+	// writeTimeout bounds one envelope encode on an established stream.
+	writeTimeout = 2 * time.Second
+	// maxSendAttempts is the per-message retry budget (dial failures and
+	// broken-stream re-encodes both consume attempts).
+	maxSendAttempts = 3
+	// backoffBase/backoffCap shape the reconnect backoff: base<<fails,
+	// capped, plus up to 50% jitter.
+	backoffBase = 25 * time.Millisecond
+	backoffCap  = 1 * time.Second
+	// evictAfterFails is how many consecutive dial failures mark a peer
+	// down (the writer keeps retrying afterwards — a restarted peer is
+	// picked up again — but the node stops routing queries through it).
+	evictAfterFails = 5
+	// sendQueueCap bounds each peer's outbound queue; enqueue never
+	// blocks the event loop — overflow is dropped and counted.
+	sendQueueCap = 256
+)
+
+// transport is one node's connection pool. All methods are safe for
+// concurrent use; in practice enqueue is called from the owning node's
+// event loop and the writers run concurrently.
+type transport struct {
+	from  model.NodeID
+	seed  int64
+	stats *metrics.SyncCounter
+
+	mu     sync.Mutex
+	peers  map[model.NodeID]*peerConn
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// dial is swappable so tests can inject dial failures.
+	dialMu sync.Mutex
+	dial   func(addr string) (net.Conn, error)
+
+	// onPeerDown fires (outside the transport locks) after
+	// evictAfterFails consecutive dial failures to one peer.
+	onPeerDown func(model.NodeID)
+}
+
+// peerConn is the queue and address of one destination peer. The
+// connection itself lives in the writer goroutine's locals.
+type peerConn struct {
+	to    model.NodeID
+	queue chan envelope
+
+	mu   sync.Mutex
+	addr string
+}
+
+func (p *peerConn) setAddr(addr string) {
+	p.mu.Lock()
+	p.addr = addr
+	p.mu.Unlock()
+}
+
+func (p *peerConn) currentAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+func newTransport(from model.NodeID, seed int64, stats *metrics.SyncCounter) *transport {
+	return &transport{
+		from:  from,
+		seed:  seed,
+		stats: stats,
+		peers: make(map[model.NodeID]*peerConn),
+		done:  make(chan struct{}),
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, dialTimeout)
+		},
+	}
+}
+
+// setDial swaps the dial function (test fault injection).
+func (t *transport) setDial(f func(addr string) (net.Conn, error)) {
+	t.dialMu.Lock()
+	t.dial = f
+	t.dialMu.Unlock()
+}
+
+func (t *transport) dialPeer(addr string) (net.Conn, error) {
+	t.dialMu.Lock()
+	f := t.dial
+	t.dialMu.Unlock()
+	return f(addr)
+}
+
+// enqueue hands an envelope to the peer's writer. It never blocks: a
+// full queue drops the message (counted) rather than stalling the event
+// loop.
+func (t *transport) enqueue(to model.NodeID, addr string, env envelope) {
+	p := t.peer(to, addr)
+	if p == nil {
+		return // transport closed
+	}
+	p.setAddr(addr)
+	select {
+	case p.queue <- env:
+	default:
+		t.stats.Add("transport_drops_queue_full", 1)
+	}
+}
+
+// peer returns the peerConn for a destination, starting its writer on
+// first use. Returns nil after close.
+func (t *transport) peer(to model.NodeID, addr string) *peerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		p = &peerConn{to: to, addr: addr, queue: make(chan envelope, sendQueueCap)}
+		t.peers[to] = p
+		t.wg.Add(1)
+		go t.run(p)
+	}
+	return p
+}
+
+// queueDepth sums the outbound backlog across all peers (a point-in-time
+// gauge).
+func (t *transport) queueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := 0
+	for _, p := range t.peers {
+		depth += len(p.queue)
+	}
+	return depth
+}
+
+// close stops every writer and waits for them. Safe to call twice.
+func (t *transport) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.done)
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// run is the writer goroutine for one peer: it drains the queue, dialing
+// lazily and reusing the stream across messages.
+func (t *transport) run(p *peerConn) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(t.seed + int64(t.from)*7919 + int64(p.to)*104729))
+	dialFails := 0   // consecutive dial failures (drives backoff + eviction)
+	notified := false // onPeerDown fired for the current outage
+	for {
+		select {
+		case <-t.done:
+			return
+		case env := <-p.queue:
+			sent := false
+			for attempt := 0; attempt < maxSendAttempts; attempt++ {
+				if attempt > 0 {
+					t.stats.Add("transport_retries", 1)
+				}
+				if conn == nil {
+					c, err := t.dialPeer(p.currentAddr())
+					if err != nil {
+						dialFails++
+						t.stats.Add("transport_dial_failures", 1)
+						if dialFails >= evictAfterFails && !notified {
+							notified = true
+							t.stats.Add("transport_peer_evictions", 1)
+							if t.onPeerDown != nil {
+								t.onPeerDown(p.to)
+							}
+						}
+						if !t.backoff(rng, dialFails) {
+							return // transport closed mid-backoff
+						}
+						continue
+					}
+					t.stats.Add("transport_dials", 1)
+					dialFails = 0
+					notified = false
+					conn, enc = c, gob.NewEncoder(c)
+				} else {
+					t.stats.Add("transport_reuses", 1)
+				}
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				if err := enc.Encode(env); err != nil {
+					// Stream broke (peer restarted or died): reconnect on
+					// the next attempt and re-encode this same envelope.
+					conn.Close()
+					conn, enc = nil, nil
+					t.stats.Add("transport_reconnects", 1)
+					continue
+				}
+				t.stats.Add("transport_sends", 1)
+				sent = true
+				break
+			}
+			if !sent {
+				t.stats.Add("transport_send_failures", 1)
+			}
+		}
+	}
+}
+
+// backoff sleeps min(base<<(fails-1), cap) plus up to 50% jitter,
+// returning false if the transport closed while waiting.
+func (t *transport) backoff(rng *rand.Rand, fails int) bool {
+	d := backoffCap
+	if shift := uint(fails - 1); shift < 6 {
+		d = backoffBase << shift
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	d += time.Duration(rng.Int63n(int64(d/2) + 1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.done:
+		return false
+	}
+}

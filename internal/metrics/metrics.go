@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -107,6 +108,110 @@ func (c *Counter) Labels() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SyncCounter is a labelled monotonically increasing count safe for
+// concurrent use — the live transport's writer goroutines and the node
+// event loop all increment the same set.
+type SyncCounter struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewSyncCounter returns an empty concurrent counter set.
+func NewSyncCounter() *SyncCounter {
+	return &SyncCounter{counts: make(map[string]int64)}
+}
+
+// Add increments label by delta.
+func (c *SyncCounter) Add(label string, delta int64) {
+	c.mu.Lock()
+	c.counts[label] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the count for label.
+func (c *SyncCounter) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[label]
+}
+
+// Snapshot returns a copy of all counts.
+func (c *SyncCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for l, v := range c.counts {
+		out[l] = v
+	}
+	return out
+}
+
+// Labels returns all labels in sorted order.
+func (c *SyncCounter) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.counts))
+	for l := range c.counts {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncHistogram is a Histogram safe for concurrent observers (e.g. query
+// latency recorded from many caller goroutines).
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one sample.
+func (h *SyncHistogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *SyncHistogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (h *SyncHistogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Count()
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *SyncHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Mean()
+}
+
+// Quantile returns the q-quantile by nearest-rank (0 when empty).
+func (h *SyncHistogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Quantile(q)
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *SyncHistogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Max()
+}
+
+// Summary renders count/mean/p50/p95/max on one line.
+func (h *SyncHistogram) Summary() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Summary()
 }
 
 // Timeline is a time-stamped series of float64 values (e.g. the fairness

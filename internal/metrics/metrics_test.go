@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -163,5 +164,64 @@ func TestLoadVector(t *testing.T) {
 	sub := lv.Subset([]int{2, 0})
 	if sub[0] != 5 || sub[1] != 2 {
 		t.Errorf("Subset = %v", sub)
+	}
+}
+
+func TestSyncCounterConcurrent(t *testing.T) {
+	c := NewSyncCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("dials", 1)
+				c.Add("sends", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("dials") != 8000 || c.Get("sends") != 16000 {
+		t.Errorf("dials=%d sends=%d", c.Get("dials"), c.Get("sends"))
+	}
+	snap := c.Snapshot()
+	snap["dials"] = 0
+	if c.Get("dials") != 8000 {
+		t.Error("Snapshot should copy")
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "dials" || labels[1] != "sends" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestSyncHistogramConcurrent(t *testing.T) {
+	var h SyncHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g))
+				h.ObserveDuration(time.Duration(g) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 7 {
+		t.Errorf("max = %f", h.Max())
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 7 {
+		t.Errorf("quantiles = %f..%f", h.Quantile(0), h.Quantile(1))
+	}
+	if h.Summary() == "" {
+		t.Error("empty summary")
+	}
+	if m := h.Mean(); m <= 0 || m >= 7 {
+		t.Errorf("mean = %f", m)
 	}
 }
