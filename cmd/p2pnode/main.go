@@ -15,19 +15,35 @@
 // With -query, the node issues keyword queries against the given category
 // on an interval and prints the outcomes; otherwise it serves silently
 // until interrupted.
+//
+// With -loadgen, the node becomes a load generator: -concurrency worker
+// goroutines drive the deployment with the Zipf workload of
+// internal/workload (temporal locality tunable with -repeat) for
+// -duration, then print a latency histogram with p50/p95/p99 and the
+// requester-cache hit share:
+//
+//	p2pnode -id 3 -bootstrap 127.0.0.1:7000 -loadgen \
+//	        -concurrency 32 -duration 30s -repeat 0.4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/livenet"
+	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
+	"p2pshare/internal/workload"
 )
 
 // printStats dumps the node's transport/protocol counters and its query
@@ -45,8 +61,98 @@ func printStats(node *livenet.Node) {
 	}
 	fmt.Println()
 	if lat := node.QueryLatency(); lat.Count() > 0 {
-		fmt.Printf("query latency (ms): %s\n", lat.Summary())
+		fmt.Printf("query latency (ms): %s\n", lat.PercentileSummary())
 	}
+}
+
+// runLoadgen drives the deployment from this node with concurrent
+// workers issuing popularity-faithful queries, then reports latency
+// percentiles, a latency distribution, and the cache's contribution.
+func runLoadgen(node *livenet.Node, concurrency int, duration, qtimeout time.Duration, m int, repeatP float64, seed int64, stop <-chan os.Signal) error {
+	gen, err := workload.NewGenerator(node.Instance(), m, seed+99)
+	if err != nil {
+		return err
+	}
+	gen.WithRepeat(repeatP, 32)
+	var genMu sync.Mutex // Generator is not safe for concurrent use
+
+	// Zero-hop (cache) answers and network answers are tracked apart so
+	// the cache's latency effect is visible, not averaged away.
+	all := &metrics.SyncHistogram{}
+	network := &metrics.SyncHistogram{}
+	local := &metrics.SyncHistogram{}
+	var issued, ok, timeouts, rejected, failed atomic.Int64
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	fmt.Printf("loadgen: %d workers for %v (m=%d, repeat=%.2f)\n",
+		concurrency, duration, m, repeatP)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				genMu.Lock()
+				q := gen.Next()
+				genMu.Unlock()
+				qctx, qcancel := context.WithTimeout(ctx, qtimeout)
+				out, err := node.QueryContext(qctx, q.Category, q.M)
+				qcancel()
+				if ctx.Err() != nil && err != nil {
+					return // run over; a cut-short query is not a data point
+				}
+				issued.Add(1)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					all.ObserveDuration(out.ResponseTime)
+					if out.Hops == 0 {
+						local.ObserveDuration(out.ResponseTime)
+					} else {
+						network.ObserveDuration(out.ResponseTime)
+					}
+				case errors.Is(err, livenet.ErrTimeout):
+					timeouts.Add(1)
+				case errors.Is(err, livenet.ErrOverloaded):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := issued.Load()
+	fmt.Printf("\nloadgen: %d queries in %v (%.1f qps): %d ok, %d timeout, %d rejected, %d failed\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
+		ok.Load(), timeouts.Load(), rejected.Load(), failed.Load())
+	if all.Count() > 0 {
+		fmt.Printf("latency (ms): %s\n", all.PercentileSummary())
+		fmt.Print(all.Distribution(12, 40))
+	}
+	s := node.Stats()
+	hits, misses := s["cache_hit"], s["cache_miss"]
+	if hits+misses > 0 {
+		fmt.Printf("requester cache: %d hits / %d lookups (%.1f%%)\n",
+			hits, hits+misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if local.Count() > 0 && network.Count() > 0 {
+		fmt.Printf("zero-hop (cache) p50 %.2fms vs network p50 %.2fms over %d / %d answers\n",
+			local.Quantile(0.5), network.Quantile(0.5), local.Count(), network.Count())
+	}
+	return nil
 }
 
 func main() {
@@ -62,6 +168,12 @@ func main() {
 	every := flag.Duration("every", 2*time.Second, "query interval")
 	m := flag.Int("m", 3, "results per query")
 	statsEvery := flag.Duration("stats", 0, "print transport counters on this interval (0 = only at exit)")
+	cacheMB := flag.Int64("cachemb", 64, "requester-cache capacity in MB (0 = disable caching)")
+	loadgen := flag.Bool("loadgen", false, "drive the deployment with the Zipf workload, then print a latency histogram")
+	concurrency := flag.Int("concurrency", 8, "loadgen: concurrent query workers")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen: how long to generate load")
+	qtimeout := flag.Duration("qtimeout", 5*time.Second, "loadgen: per-query deadline")
+	repeat := flag.Float64("repeat", 0.3, "loadgen: probability of re-issuing a recent query (temporal locality)")
 	flag.Parse()
 
 	shape := livenet.Shape{
@@ -74,12 +186,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer node.Close()
+	if err := node.SetCacheCapacity(cache.LRU, *cacheMB<<20); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pnode:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("node %d listening on %s (knows %d peers)\n",
 		node.ID(), node.Addr(), node.KnownPeers())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	defer printStats(node)
+
+	if *loadgen {
+		if err := runLoadgen(node, *concurrency, *duration, *qtimeout, *m, *repeat, *seed, stop); err != nil {
+			fmt.Fprintln(os.Stderr, "p2pnode: loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var statsTick <-chan time.Time
 	if *statsEvery > 0 {

@@ -1,0 +1,372 @@
+package livenet
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"p2pshare/internal/cache"
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+	"p2pshare/internal/overlay"
+	"p2pshare/internal/query"
+)
+
+// The concurrent query engine. A node carries many in-flight queries at
+// once: each is an independent state machine (a pendingQuery) owned by
+// the event loop, while the issuing goroutine only waits on its private
+// result channel. Admission control bounds the pending table — a node
+// under overload rejects new queries with ErrOverloaded instead of piling
+// up goroutines — and the requester-side document cache (internal/cache,
+// the paper's §7 viii extension) answers repeat queries in zero hops
+// before any message is sent.
+const (
+	// DefaultMaxInFlight bounds concurrently pending queries per node;
+	// queries beyond it are rejected with ErrOverloaded (admission
+	// control, counted as query_rejected).
+	DefaultMaxInFlight = 1024
+	// DefaultCacheBytes sizes the requester-side document cache a node
+	// starts with (16 of the paper's 4 MB example documents); use
+	// SetCacheCapacity to resize or disable it.
+	DefaultCacheBytes = 64 << 20
+	// resendAfter is how long a pending query waits with nothing received
+	// before re-sending to another member of the serving cluster — the
+	// entry message was probably lost, and because the query id was never
+	// flooded, a re-send under the same id is not suppressed by dedup.
+	resendAfter = 1200 * time.Millisecond
+	// maxResends bounds per-query re-sends; a cancelled query leaves the
+	// pending table and stops counting toward this budget.
+	maxResends = 2
+	// maxPendingAge backstops a pending query whose context carries no
+	// deadline, so an abandoned slot is always reclaimed by the sweep.
+	maxPendingAge = time.Minute
+)
+
+// QueryContext runs the §3.3 protocol for a category over the live
+// network, seeking m distinct documents. It is safe to call from many
+// goroutines at once — each call occupies one in-flight slot until it
+// completes, times out, or ctx is cancelled. A context deadline maps to
+// ErrTimeout (with the partial outcome); a cancellation returns
+// ctx.Err() and frees the slot immediately.
+func (n *Node) QueryContext(ctx context.Context, cat catalog.CategoryID, m int) (query.Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return query.Result{}, ctxQueryErr(err)
+	}
+	type issued struct {
+		id  uint64
+		out *query.Result // set when answered from the requester cache
+		err error
+	}
+	ich := make(chan issued, 1)
+	ch := make(chan query.Result, 1)
+	deadline, hasDeadline := ctx.Deadline()
+	select {
+	case n.cmds <- func(n *Node) {
+		id, out, err := n.startQuery(cat, m, ch, deadline, hasDeadline)
+		ich <- issued{id: id, out: out, err: err}
+	}:
+	case <-ctx.Done():
+		return query.Result{}, ctxQueryErr(ctx.Err())
+	case <-n.done:
+		return query.Result{}, ErrClosed
+	}
+	var is issued
+	select {
+	case is = <-ich:
+	case <-n.done:
+		// The event loop may have run the command just before shutting
+		// down; prefer its answer when present.
+		select {
+		case is = <-ich:
+		default:
+			return query.Result{}, ErrClosed
+		}
+	}
+	switch {
+	case is.err != nil:
+		return query.Result{}, is.err
+	case is.out != nil: // answered from the cache in zero hops
+		out := *is.out
+		out.ResponseTime = time.Since(start)
+		n.latency.ObserveDuration(out.ResponseTime)
+		n.stats.Add("queries_ok", 1)
+		return out, nil
+	}
+	select {
+	case out := <-ch:
+		out.ResponseTime = time.Since(start)
+		n.latency.ObserveDuration(out.ResponseTime)
+		n.stats.Add("queries_ok", 1)
+		return out, nil
+	case <-ctx.Done():
+		reason := "query_cancelled"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			reason = "query_timeouts"
+		}
+		out, completed := n.abandonQuery(is.id, ch, reason)
+		out.ResponseTime = time.Since(start)
+		if completed {
+			// The query finished in the race window between ctx firing
+			// and the slot being released; report the success.
+			n.latency.ObserveDuration(out.ResponseTime)
+			n.stats.Add("queries_ok", 1)
+			return out, nil
+		}
+		return out, ctxQueryErr(ctx.Err())
+	case <-n.done:
+		return query.Result{}, ErrClosed
+	}
+}
+
+// Query blocks until m distinct documents arrive or the timeout expires
+// (in which case the partial outcome and ErrTimeout are returned).
+//
+// Deprecated: Query is a thin wrapper kept for existing callers; new
+// code should use QueryContext.
+func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (QueryOutcome, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.QueryContext(ctx, cat, m)
+}
+
+// ctxQueryErr maps a context error to the engine's sentinel: a deadline
+// is a query timeout; an explicit cancellation stays ctx.Err() so callers
+// can tell the two apart.
+func ctxQueryErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// startQuery admits, registers, and issues one query. Runs in the event
+// loop. It returns either a pending id, a complete cache-served result,
+// or an admission/routing error.
+func (n *Node) startQuery(cat catalog.CategoryID, m int, ch chan query.Result, deadline time.Time, hasDeadline bool) (uint64, *query.Result, error) {
+	if len(n.pending) >= n.inflightMax {
+		n.stats.Add("query_rejected", 1)
+		return 0, nil, ErrOverloaded
+	}
+	docs := make(map[catalog.DocID]bool, m)
+	if n.docCache != nil {
+		for _, d := range n.cachedIn(cat, m) {
+			n.docCache.Contains(d) // refresh recency/frequency
+			docs[d] = true
+		}
+		if len(docs) >= m {
+			n.stats.Add("cache_hit", 1)
+			out := query.Result{Done: true, Results: len(docs)}
+			for d := range docs {
+				out.Docs = append(out.Docs, d)
+			}
+			return 0, &out, nil
+		}
+		n.stats.Add("cache_miss", 1)
+	}
+	entry, ok := n.dcrt[cat]
+	if !ok {
+		n.stats.Add("query_no_route", 1)
+		return 0, nil, ErrNoRoute
+	}
+	members := n.nrt[entry.Cluster]
+	// Prefer members this node can actually address: the static NRT
+	// priming lists peers that may never have joined this deployment,
+	// and a query sent to one of those is a guaranteed timeout.
+	var reachable []model.NodeID
+	for _, mb := range members {
+		if _, ok := n.book[mb]; ok {
+			reachable = append(reachable, mb)
+		}
+	}
+	if len(reachable) > 0 {
+		members = reachable
+	}
+	if len(members) == 0 {
+		n.stats.Add("query_no_route", 1)
+		return 0, nil, ErrNoRoute
+	}
+	n.nextQuery++
+	id := n.nextQuery<<16 | uint64(n.id)&0xffff
+	now := time.Now()
+	pq := &pendingQuery{
+		id:       id,
+		cat:      cat,
+		want:     m,
+		docs:     docs,
+		ch:       ch,
+		deadline: now.Add(maxPendingAge),
+		lastSend: now,
+		entry:    append([]model.NodeID(nil), members...),
+	}
+	if hasDeadline {
+		pq.deadline = deadline.Add(pendingGrace)
+	}
+	n.pending[id] = pq
+	n.inflight.Store(int64(len(n.pending)))
+	n.sendQuery(pq)
+	return id, nil, nil
+}
+
+// sendQuery (re)issues the query to a random reachable member of the
+// serving cluster. The full demand goes out even when the cache primed a
+// partial answer: intermediate nodes subtract their own matches from Want
+// before forwarding, so a reduced demand would degenerate the flood and
+// could strand the query one hop in.
+func (n *Node) sendQuery(pq *pendingQuery) {
+	target := pq.entry[n.rng.Intn(len(pq.entry))]
+	n.send(target, overlay.QueryMsg{
+		ID: pq.id, Category: pq.cat, Want: pq.want, Origin: n.id, Hops: 1, Entry: true,
+	})
+}
+
+// abandonQuery releases a cancelled or deadline-expired query's slot and
+// returns whatever partial outcome accumulated (caching the partial docs
+// — they were fetched either way). If the event loop completed the query
+// in the race window the completed outcome is recovered from ch instead;
+// the second return reports that case.
+func (n *Node) abandonQuery(id uint64, ch chan query.Result, reason string) (query.Result, bool) {
+	type taken struct {
+		out     query.Result
+		dropped bool
+	}
+	res := make(chan taken, 1)
+	select {
+	case n.cmds <- func(n *Node) {
+		pq, ok := n.pending[id]
+		if !ok {
+			res <- taken{}
+			return
+		}
+		n.cacheDocs(pq.docs)
+		out := pq.result(false)
+		delete(n.pending, id)
+		n.inflight.Store(int64(len(n.pending)))
+		n.stats.Add(reason, 1)
+		res <- taken{out: out, dropped: true}
+	}:
+	case <-n.done:
+		return query.Result{}, false
+	}
+	var tk taken
+	select {
+	case tk = <-res:
+	case <-n.done:
+		return query.Result{}, false
+	}
+	if tk.dropped {
+		return tk.out, false
+	}
+	// Already completed (or swept): its outcome is buffered in ch.
+	select {
+	case out := <-ch:
+		return out, out.Done
+	default:
+		return query.Result{}, false
+	}
+}
+
+// finishPending delivers a query's outcome exactly once and releases its
+// slot. Runs in the event loop.
+func (n *Node) finishPending(pq *pendingQuery, done bool) {
+	n.cacheDocs(pq.docs)
+	out := pq.result(done)
+	select {
+	case pq.ch <- out:
+	default: // caller abandoned; the slot still frees
+	}
+	delete(n.pending, pq.id)
+	n.inflight.Store(int64(len(n.pending)))
+}
+
+// cachedIn returns up to max currently-cached documents of a category,
+// pruning evicted ids from the per-category index as it goes.
+func (n *Node) cachedIn(cat catalog.CategoryID, max int) []catalog.DocID {
+	list := n.cacheByCat[cat]
+	live := list[:0]
+	var out []catalog.DocID
+	for _, d := range list {
+		if !n.docCache.Peek(d) {
+			continue // evicted; prune
+		}
+		live = append(live, d)
+		if len(out) < max {
+			out = append(out, d)
+		}
+	}
+	n.cacheByCat[cat] = live
+	return out
+}
+
+// cacheDocs inserts received result documents into the requester cache.
+func (n *Node) cacheDocs(docs map[catalog.DocID]bool) {
+	if n.docCache == nil {
+		return
+	}
+	for d := range docs {
+		doc := n.inst.Catalog.Doc(d)
+		if doc == nil || n.docCache.Peek(d) {
+			continue
+		}
+		n.docCache.Insert(d, doc.Size)
+		if n.docCache.Peek(d) {
+			cat := doc.Categories[0]
+			n.cacheByCat[cat] = append(n.cacheByCat[cat], d)
+		}
+	}
+}
+
+// InFlight reports how many queries this node currently has pending (a
+// point-in-time gauge; also exported as queries_inflight in Stats).
+func (n *Node) InFlight() int { return int(n.inflight.Load()) }
+
+// SetMaxInFlight resizes the admission-control bound (k <= 0 restores
+// DefaultMaxInFlight). Queries already pending are unaffected.
+func (n *Node) SetMaxInFlight(k int) {
+	if k <= 0 {
+		k = DefaultMaxInFlight
+	}
+	applied := make(chan struct{})
+	select {
+	case n.cmds <- func(n *Node) { n.inflightMax = k; close(applied) }:
+		select {
+		case <-applied:
+		case <-n.done:
+		}
+	case <-n.done:
+	}
+}
+
+// SetCacheCapacity replaces the requester-side document cache with a
+// fresh one of the given policy and byte capacity; 0 bytes disables
+// caching. Previously cached contents are discarded.
+func (n *Node) SetCacheCapacity(policy cache.Policy, bytes int64) error {
+	errc := make(chan error, 1)
+	select {
+	case n.cmds <- func(n *Node) {
+		if bytes == 0 {
+			n.docCache, n.cacheByCat = nil, nil
+			errc <- nil
+			return
+		}
+		dc, err := cache.New(policy, bytes)
+		if err == nil {
+			n.docCache = dc
+			n.cacheByCat = make(map[catalog.CategoryID][]catalog.DocID)
+		}
+		errc <- err
+	}:
+		select {
+		case err := <-errc:
+			return err
+		case <-n.done:
+			return ErrClosed
+		}
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Instance exposes the deployment's content model (for workload
+// generation against a live node; treat it as read-only).
+func (n *Node) Instance() *model.Instance { return n.inst }

@@ -10,25 +10,31 @@
 // owns all peer state. The TCP accept loop and the public API feed it
 // through one channel, so handlers are lock-free and ordering per peer is
 // serial — the same discipline the paper's per-node protocol descriptions
-// assume. Outbound messages go through a per-peer persistent-connection
-// pool (transport.go): one framed gob stream per destination, reused
-// across messages, with reconnect-on-failure and capped backoff.
+// assume. Queries are fully concurrent: each QueryContext call registers
+// an independent state machine in the event loop's pending table (bounded
+// by admission control) and only the issuing goroutine blocks, so one
+// node sustains hundreds of in-flight queries at once (engine.go).
+// Outbound messages go through a per-peer persistent-connection pool
+// (transport.go): one framed gob stream per destination, reused across
+// messages, with reconnect-on-failure and capped backoff.
 package livenet
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
+	"p2pshare/internal/query"
 	"p2pshare/internal/replica"
 )
 
@@ -61,25 +67,36 @@ type envelope struct {
 	Msg  any
 }
 
-// QueryOutcome is the result of a live query.
-type QueryOutcome struct {
-	// Done is true when the requested number of distinct documents
-	// arrived before the deadline.
-	Done bool
-	// Docs are the distinct documents received.
-	Docs []catalog.DocID
-	// Hops is the largest forwarding distance over the contributing
-	// results.
-	Hops int
+// QueryOutcome is the result of a live query — an alias of the unified
+// query.Result shared with the facade (re-exported by the root package
+// as p2pshare.QueryResult).
+type QueryOutcome = query.Result
+
+// pendingQuery is one in-flight query's state machine, owned by the
+// event loop. The issuing goroutine holds only the buffered result
+// channel; everything else advances on received ResultMsgs and sweep
+// ticks (deadline expiry, resend-on-silence).
+type pendingQuery struct {
+	id       uint64
+	cat      catalog.CategoryID
+	want     int // total distinct documents the caller asked for
+	docs     map[catalog.DocID]bool
+	received int // network results folded in (cache-primed docs excluded)
+	hops     int
+	ch       chan query.Result
+	deadline time.Time // sweep backstop, padded past the caller's own deadline
+	lastSend time.Time
+	resends  int
+	entry    []model.NodeID // reachable serving-cluster members (resend targets)
 }
 
-// pendingQuery tracks a query issued by this node.
-type pendingQuery struct {
-	want     int
-	docs     map[catalog.DocID]bool
-	hops     int
-	ch       chan QueryOutcome
-	deadline time.Time
+// result snapshots the outcome accumulated so far.
+func (pq *pendingQuery) result(done bool) query.Result {
+	out := query.Result{Done: done, Hops: pq.hops, Results: len(pq.docs)}
+	for d := range pq.docs {
+		out.Docs = append(out.Docs, d)
+	}
+	return out
 }
 
 // command is an API request executed inside the event loop.
@@ -120,6 +137,19 @@ type Node struct {
 	pending map[uint64]*pendingQuery
 	served  int64
 
+	// inflightMax is the admission-control bound on len(pending);
+	// inflight mirrors len(pending) for lock-free gauge reads.
+	inflightMax int
+	inflight    atomic.Int64
+
+	// docCache is the requester-side document cache (§7 viii): results of
+	// completed queries are kept and repeat queries answered in zero
+	// hops. cacheByCat indexes cached docs per category; entries may be
+	// stale after eviction and are pruned on read. Both owned by the
+	// event loop; nil when caching is disabled.
+	docCache   *cache.Cache
+	cacheByCat map[catalog.CategoryID][]catalog.DocID
+
 	// seen dedups query ids in two generations; the sweep rotates them
 	// so the set stays bounded on a long-lived node.
 	seenCur  map[uint64]struct{}
@@ -129,9 +159,10 @@ type Node struct {
 }
 
 // newNode builds a Node with empty peer state, its own private address
-// book, and an idle transport.
+// book, an idle transport, and a default-capacity requester cache.
 func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64) *Node {
 	stats := metrics.NewSyncCounter()
+	docCache, _ := cache.New(cache.LRU, DefaultCacheBytes)
 	n := &Node{
 		id:       id,
 		inst:     inst,
@@ -152,6 +183,10 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64)
 		pending:  make(map[uint64]*pendingQuery),
 		seenCur:  make(map[uint64]struct{}),
 		seenPrev: make(map[uint64]struct{}),
+
+		inflightMax: DefaultMaxInFlight,
+		docCache:    docCache,
+		cacheByCat:  make(map[catalog.CategoryID][]catalog.DocID),
 	}
 	n.tr.onPeerDown = func(peer model.NodeID) {
 		select {
@@ -187,6 +222,7 @@ func (n *Node) Served() int64 {
 func (n *Node) Stats() map[string]int64 {
 	s := n.stats.Snapshot()
 	s["queue_depth"] = int64(n.tr.queueDepth())
+	s["queries_inflight"] = n.inflight.Load()
 	return s
 }
 
@@ -454,25 +490,26 @@ func (n *Node) eventLoop() {
 
 // sweep rotates the seen-set generations (entries survive one to two
 // intervals — long enough for loop detection, bounded forever after) and
-// reaps pending queries whose deadline passed, delivering whatever
-// partial outcome accumulated.
+// advances every pending query's state machine: entries whose deadline
+// passed deliver their partial outcome and free their slot, and queries
+// that have received nothing re-send to another serving-cluster member
+// (the entry message was probably lost; the id was never flooded, so
+// dedup does not suppress the retry).
 func (n *Node) sweep(now time.Time) {
 	n.seenPrev = n.seenCur
 	n.seenCur = make(map[uint64]struct{})
-	for id, pq := range n.pending {
-		if !now.After(pq.deadline) {
+	for _, pq := range n.pending {
+		if now.After(pq.deadline) {
+			n.finishPending(pq, false)
+			n.stats.Add("pending_expired", 1)
 			continue
 		}
-		out := QueryOutcome{Hops: pq.hops}
-		for d := range pq.docs {
-			out.Docs = append(out.Docs, d)
+		if pq.received == 0 && pq.resends < maxResends && now.Sub(pq.lastSend) > resendAfter {
+			pq.resends++
+			pq.lastSend = now
+			n.stats.Add("query_resends", 1)
+			n.sendQuery(pq)
 		}
-		select {
-		case pq.ch <- out:
-		default: // caller long gone
-		}
-		delete(n.pending, id)
-		n.stats.Add("pending_expired", 1)
 	}
 }
 
@@ -516,109 +553,22 @@ func (n *Node) send(to model.NodeID, msg any) {
 	n.tr.enqueue(to, addr, envelope{From: n.id, Msg: msg})
 }
 
-// ErrTimeout reports a query that did not complete before its deadline.
-var ErrTimeout = errors.New("livenet: query timed out")
-
-// ErrNoRoute reports a category with no DCRT entry or no reachable
-// members in its serving cluster — the caller gets an explicit error
-// instead of the load being silently dumped on cluster 0.
-var ErrNoRoute = errors.New("livenet: no route to category cluster")
-
-// ErrClosed reports an API call on a node that has shut down.
-var ErrClosed = errors.New("livenet: node closed")
-
-// Query runs the §3.3 protocol for a category over the live network and
-// blocks until m distinct documents arrive or the timeout expires (in
-// which case the partial outcome and ErrTimeout are returned). A
-// category this node cannot route fails fast with ErrNoRoute.
-func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (QueryOutcome, error) {
-	start := time.Now()
-	ch := make(chan QueryOutcome, 1)
-	errc := make(chan error, 1)
-	select {
-	case n.cmds <- func(n *Node) {
-		entry, ok := n.dcrt[cat]
-		if !ok {
-			n.stats.Add("query_no_route", 1)
-			errc <- ErrNoRoute
-			return
-		}
-		members := n.nrt[entry.Cluster]
-		// Prefer members this node can actually address: the static NRT
-		// priming lists peers that may never have joined this deployment,
-		// and a query sent to one of those is a guaranteed timeout.
-		var reachable []model.NodeID
-		for _, m := range members {
-			if _, ok := n.book[m]; ok {
-				reachable = append(reachable, m)
-			}
-		}
-		if len(reachable) > 0 {
-			members = reachable
-		}
-		if len(members) == 0 {
-			n.stats.Add("query_no_route", 1)
-			errc <- ErrNoRoute
-			return
-		}
-		n.nextQuery++
-		id := n.nextQuery<<16 | uint64(n.id)&0xffff
-		n.pending[id] = &pendingQuery{
-			want:     m,
-			docs:     make(map[catalog.DocID]bool),
-			ch:       ch,
-			deadline: time.Now().Add(timeout + pendingGrace),
-		}
-		target := members[n.rng.Intn(len(members))]
-		n.send(target, overlay.QueryMsg{
-			ID: id, Category: cat, Want: m, Origin: n.id, Hops: 1, Entry: true,
-		})
-		errc <- nil
-	}:
-	case <-n.done:
-		return QueryOutcome{}, ErrClosed
-	}
-	select {
-	case err := <-errc:
-		if err != nil {
-			return QueryOutcome{}, err
-		}
-	case <-n.done:
-		return QueryOutcome{}, ErrClosed
-	}
-	select {
-	case out := <-ch:
-		n.latency.ObserveDuration(time.Since(start))
-		n.stats.Add("queries_ok", 1)
-		return out, nil
-	case <-n.done:
-		return QueryOutcome{}, ErrClosed
-	case <-time.After(timeout):
-		n.stats.Add("query_timeouts", 1)
-		// Collect the partial state.
-		partial := make(chan QueryOutcome, 1)
-		select {
-		case n.cmds <- func(n *Node) {
-			// Find the pending query (by scanning — the id is internal).
-			for id, pq := range n.pending {
-				if pq.ch == ch {
-					out := QueryOutcome{Hops: pq.hops}
-					for d := range pq.docs {
-						out.Docs = append(out.Docs, d)
-					}
-					delete(n.pending, id)
-					partial <- out
-					return
-				}
-			}
-			partial <- QueryOutcome{}
-		}:
-			return <-partial, ErrTimeout
-		case <-n.done:
-			return QueryOutcome{}, ErrTimeout
-		}
-	}
-}
+// Sentinel errors shared with the facade — internal/query is the single
+// definition point, aliased here so existing livenet callers keep
+// compiling and errors.Is matches across packages.
+var (
+	// ErrTimeout reports a query that did not complete before its
+	// deadline.
+	ErrTimeout = query.ErrTimeout
+	// ErrNoRoute reports a category with no DCRT entry or no reachable
+	// members in its serving cluster — the caller gets an explicit error
+	// instead of the load being silently dumped on cluster 0.
+	ErrNoRoute = query.ErrNoRoute
+	// ErrClosed reports an API call on a node that has shut down.
+	ErrClosed = query.ErrClosed
+	// ErrOverloaded reports a query rejected by admission control.
+	ErrOverloaded = query.ErrOverloaded
+)
 
 // handleQuery mirrors the simulated overlay's §3.3 target-node logic. A
 // query for a category this node has no DCRT entry for is dropped (and
@@ -661,6 +611,7 @@ func (n *Node) handleResult(m overlay.ResultMsg) {
 	if !ok {
 		return
 	}
+	pq.received++
 	for _, d := range m.Docs {
 		pq.docs[d] = true
 	}
@@ -670,12 +621,7 @@ func (n *Node) handleResult(m overlay.ResultMsg) {
 	if len(pq.docs) >= pq.want {
 		// Report the farthest contributing result, not whichever message
 		// happened to complete the set.
-		out := QueryOutcome{Done: true, Hops: pq.hops}
-		for d := range pq.docs {
-			out.Docs = append(out.Docs, d)
-		}
-		pq.ch <- out
-		delete(n.pending, m.ID)
+		n.finishPending(pq, true)
 	}
 }
 

@@ -315,6 +315,7 @@ func TestPendingExpirySweep(t *testing.T) {
 	ch := make(chan QueryOutcome, 1)
 	runCmd(t, n, func(n *Node) {
 		n.pending[42] = &pendingQuery{
+			id:       42,
 			want:     5,
 			docs:     map[catalog.DocID]bool{7: true},
 			hops:     3,

@@ -86,6 +86,60 @@ func (h *Histogram) Summary() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
 }
 
+// PercentileSummary renders count/mean plus the tail percentiles a load
+// test reports (p50/p95/p99/max) on one line.
+func (h *Histogram) PercentileSummary() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Distribution renders the samples as a fixed-width ASCII bucket chart:
+// `buckets` equal-width ranges over [min, max], one row per bucket with a
+// bar scaled to the most populated bucket. Empty histograms render "".
+func (h *Histogram) Distribution(buckets, width int) string {
+	if len(h.samples) == 0 {
+		return ""
+	}
+	if buckets <= 0 {
+		buckets = 10
+	}
+	if width <= 0 {
+		width = 40
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	lo, hi := h.samples[0], h.samples[len(h.samples)-1]
+	span := hi - lo
+	if span == 0 {
+		return fmt.Sprintf("%10.2f .. %10.2f | %s %d\n", lo, hi,
+			strings.Repeat("█", width), len(h.samples))
+	}
+	counts := make([]int, buckets)
+	for _, v := range h.samples {
+		i := int(float64(buckets) * (v - lo) / span)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		from := lo + span*float64(i)/float64(buckets)
+		to := lo + span*float64(i+1)/float64(buckets)
+		bar := int(float64(width) * float64(c) / float64(peak))
+		fmt.Fprintf(&b, "%10.2f .. %10.2f | %s %d\n", from, to, strings.Repeat("█", bar), c)
+	}
+	return b.String()
+}
+
 // Counter is a labelled monotonically increasing count.
 type Counter struct {
 	counts map[string]int64
@@ -212,6 +266,20 @@ func (h *SyncHistogram) Summary() string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.h.Summary()
+}
+
+// PercentileSummary renders count/mean/p50/p95/p99/max on one line.
+func (h *SyncHistogram) PercentileSummary() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.PercentileSummary()
+}
+
+// Distribution renders an ASCII bucket chart of the samples.
+func (h *SyncHistogram) Distribution(buckets, width int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Distribution(buckets, width)
 }
 
 // Timeline is a time-stamped series of float64 values (e.g. the fairness

@@ -78,6 +78,51 @@ func TestHistogramSummary(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.PercentileSummary()
+	for _, want := range []string{"n=100", "p50=50.00", "p95=95.00", "p99=99.00", "max=100.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("percentile summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramDistribution(t *testing.T) {
+	var h Histogram
+	if h.Distribution(10, 40) != "" {
+		t.Error("empty histogram should render an empty distribution")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 10))
+	}
+	chart := h.Distribution(10, 20)
+	if lines := strings.Count(chart, "\n"); lines != 10 {
+		t.Errorf("distribution has %d rows, want 10:\n%s", lines, chart)
+	}
+	if !strings.Contains(chart, "█") {
+		t.Errorf("distribution has no bars:\n%s", chart)
+	}
+	// Uniform samples: every bucket bar is the full width.
+	if got := strings.Count(chart, "█"); got != 10*20 {
+		t.Errorf("uniform distribution drew %d cells, want %d", got, 10*20)
+	}
+
+	var flat Histogram
+	flat.Observe(7)
+	flat.Observe(7)
+	one := flat.Distribution(5, 10)
+	if lines := strings.Count(one, "\n"); lines != 1 {
+		t.Errorf("zero-span distribution has %d rows, want 1:\n%s", lines, one)
+	}
+	if !strings.Contains(one, "2") {
+		t.Errorf("zero-span distribution missing count:\n%s", one)
+	}
+}
+
 func TestHistogramQuantileMonotoneProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

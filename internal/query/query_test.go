@@ -1,0 +1,28 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	errs := []error{ErrNoRoute, ErrTimeout, ErrClosed, ErrOverloaded}
+	for i, a := range errs {
+		if a == nil {
+			t.Fatalf("sentinel %d is nil", i)
+		}
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinels %d and %d are not distinct", i, j)
+			}
+		}
+	}
+}
+
+func TestSentinelsSurviveWrapping(t *testing.T) {
+	wrapped := fmt.Errorf("query 42: %w", ErrOverloaded)
+	if !errors.Is(wrapped, ErrOverloaded) {
+		t.Error("wrapped sentinel does not match with errors.Is")
+	}
+}

@@ -32,6 +32,14 @@ type Generator struct {
 	// M is the desired result count per query (the paper bounds it by a
 	// system-wide default, e.g. 50).
 	M int
+
+	// repeatP re-issues a recent query with this probability (temporal
+	// locality — the request pattern a requester-side cache absorbs);
+	// recent is the sliding window it draws from. Zero disables repeats
+	// and leaves the sample sequence bit-identical to older generators.
+	repeatP float64
+	recent  []Query
+	window  int
 }
 
 // NewGenerator builds a generator over the instance's current document
@@ -52,16 +60,47 @@ func NewGenerator(inst *model.Instance, m int, seed int64) (*Generator, error) {
 	}, nil
 }
 
+// WithRepeat makes the generator re-issue one of its last `window`
+// queries with probability p — the temporal locality real request
+// streams show (users re-fetching what they just browsed), and the
+// pattern that makes requester-side caching pay off. It returns g for
+// chaining; p = 0 restores pure popularity sampling.
+func (g *Generator) WithRepeat(p float64, window int) *Generator {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if window <= 0 {
+		window = 16
+	}
+	g.repeatP = p
+	g.window = window
+	return g
+}
+
 // Next draws one query.
 func (g *Generator) Next() Query {
+	if g.repeatP > 0 && len(g.recent) > 0 && g.rng.Float64() < g.repeatP {
+		return g.recent[g.rng.Intn(len(g.recent))]
+	}
 	d := &g.inst.Catalog.Docs[g.sampler.Sample(g.rng)]
 	cat := d.Categories[g.rng.Intn(len(d.Categories))]
-	return Query{
+	q := Query{
 		Origin:   model.NodeID(g.rng.Intn(len(g.inst.Nodes))),
 		Category: cat,
 		Keywords: g.inst.Catalog.Cats[cat].Keywords,
 		M:        g.M,
 	}
+	if g.repeatP > 0 {
+		if len(g.recent) == g.window {
+			copy(g.recent, g.recent[1:])
+			g.recent = g.recent[:g.window-1]
+		}
+		g.recent = append(g.recent, q)
+	}
+	return q
 }
 
 // Interarrival returns an exponential interarrival time with the given

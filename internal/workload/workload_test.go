@@ -81,6 +81,58 @@ func TestGeneratorFollowsPopularity(t *testing.T) {
 	}
 }
 
+func TestWithRepeatZeroKeepsSequence(t *testing.T) {
+	inst := testInstance(t)
+	a, err := NewGenerator(inst, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(inst, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WithRepeat(0, 8) // disabled repeats must not perturb the rng stream
+	for i := 0; i < 200; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa.Origin != qb.Origin || qa.Category != qb.Category {
+			t.Fatalf("query %d diverged: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+func TestWithRepeatProducesRepeats(t *testing.T) {
+	inst := testInstance(t)
+	g, err := NewGenerator(inst, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.WithRepeat(0.5, 8)
+	type key struct {
+		o model.NodeID
+		c int
+	}
+	seen := make(map[key]int)
+	repeats := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		k := key{q.Origin, int(q.Category)}
+		if seen[k] > 0 {
+			repeats++
+		}
+		seen[k]++
+	}
+	// With p=0.5 roughly half the draws are exact repeats of a recent
+	// query; pure Zipf over 300 origins × 60 categories almost never
+	// collides on the (origin, category) pair.
+	if repeats < n/4 {
+		t.Errorf("only %d of %d draws repeated a recent query, want ≥ %d", repeats, n, n/4)
+	}
+	if len(g.recent) > 8 {
+		t.Errorf("recent window grew to %d, want ≤ 8", len(g.recent))
+	}
+}
+
 func TestInterarrival(t *testing.T) {
 	inst := testInstance(t)
 	g, _ := NewGenerator(inst, 1, 3)

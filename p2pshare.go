@@ -26,7 +26,6 @@ package p2pshare
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/classify"
@@ -34,6 +33,7 @@ import (
 	"p2pshare/internal/fairness"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
+	"p2pshare/internal/query"
 	"p2pshare/internal/replica"
 	"p2pshare/internal/workload"
 )
@@ -107,17 +107,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// QueryResult reports one query's outcome.
-type QueryResult struct {
-	// Done is true when the requested number of results was gathered.
-	Done bool
-	// Results is the number of distinct matching documents returned.
-	Results int
-	// Hops is the overlay forwarding distance of the completing result.
-	Hops int
-	// ResponseTime is the simulated wall-clock latency.
-	ResponseTime time.Duration
-}
+// QueryResult reports one query's outcome. It is the unified result type
+// shared with the live TCP engine (internal/livenet returns the same
+// struct from Node.QueryContext), so code driving both the simulator and
+// a live deployment handles one shape.
+type QueryResult = query.Result
+
+// Sentinel errors shared across the facade and the live engine
+// (internal/livenet aliases the same values); match them with errors.Is.
+var (
+	// ErrNoRoute reports a category that cannot be routed to any serving
+	// cluster member.
+	ErrNoRoute = query.ErrNoRoute
+	// ErrTimeout reports a query that did not complete before its
+	// deadline; the partial outcome accompanies it.
+	ErrTimeout = query.ErrTimeout
+	// ErrClosed reports an API call on a node or system that has shut
+	// down.
+	ErrClosed = query.ErrClosed
+	// ErrOverloaded reports a query rejected by a node's admission
+	// control (too many in-flight queries).
+	ErrOverloaded = query.ErrOverloaded
+)
 
 // Balance describes the current load-balance state of the community.
 type Balance struct {
@@ -243,11 +254,17 @@ func (s *System) QueryCategory(origin NodeID, cat CategoryID, m int) (QueryResul
 	if s.inst.Catalog.Cat(cat) == nil {
 		return QueryResult{}, fmt.Errorf("p2pshare: unknown category %d", cat)
 	}
+	if int(origin) >= s.overlay.NumPeers() {
+		return QueryResult{}, fmt.Errorf("p2pshare: unknown node %d", origin)
+	}
 	id := s.overlay.IssueQuery(origin, cat, m)
 	if err := s.overlay.Run(); err != nil {
 		return QueryResult{}, err
 	}
-	rep, _ := s.overlay.QueryReport(origin, id)
+	rep, ok := s.overlay.QueryReport(origin, id)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("p2pshare: lost query %d", id)
+	}
 	return QueryResult{
 		Done:         rep.Done,
 		Results:      rep.Results,

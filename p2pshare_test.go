@@ -1,9 +1,12 @@
 package p2pshare_test
 
 import (
+	"errors"
 	"testing"
 
 	"p2pshare"
+	"p2pshare/internal/livenet"
+	"p2pshare/internal/query"
 )
 
 func smallConfig() p2pshare.Config {
@@ -70,6 +73,24 @@ func TestQueryErrors(t *testing.T) {
 	}
 	if _, err := sys.QueryCategory(0, p2pshare.CategoryID(9999), 1); err == nil {
 		t.Error("unknown category should error")
+	}
+	if _, err := sys.QueryCategory(p2pshare.NodeID(99999), 0, 1); err == nil {
+		t.Error("unknown origin should error")
+	}
+}
+
+// TestUnifiedResultTypeAndErrors pins the API unification: the facade's
+// QueryResult is the same type the live engine returns, and the sentinel
+// errors re-exported at the root match livenet's with errors.Is.
+func TestUnifiedResultTypeAndErrors(t *testing.T) {
+	var r p2pshare.QueryResult
+	var _ query.Result = r     // compile-time: facade result is the shared type
+	var _ livenet.QueryOutcome = r // compile-time: live outcome is the same type
+	if !errors.Is(livenet.ErrTimeout, p2pshare.ErrTimeout) ||
+		!errors.Is(livenet.ErrNoRoute, p2pshare.ErrNoRoute) ||
+		!errors.Is(livenet.ErrClosed, p2pshare.ErrClosed) ||
+		!errors.Is(livenet.ErrOverloaded, p2pshare.ErrOverloaded) {
+		t.Error("root sentinels do not match livenet sentinels")
 	}
 }
 
@@ -177,7 +198,8 @@ func TestDeterministicSystems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ra != rb {
+	if ra.Done != rb.Done || ra.Results != rb.Results ||
+		ra.Hops != rb.Hops || ra.ResponseTime != rb.ResponseTime {
 		t.Errorf("same seed produced %+v vs %+v", ra, rb)
 	}
 }
