@@ -31,6 +31,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -62,6 +64,9 @@ func printStats(node *livenet.Node) {
 	fmt.Println()
 	if lat := node.QueryLatency(); lat.Count() > 0 {
 		fmt.Printf("query latency (ms): %s\n", lat.PercentileSummary())
+	}
+	if batches := node.BatchSizes(); batches.Count() > 0 {
+		fmt.Printf("write batches (msgs/flush): %s\n", batches.Summary())
 	}
 }
 
@@ -174,7 +179,17 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "loadgen: how long to generate load")
 	qtimeout := flag.Duration("qtimeout", 5*time.Second, "loadgen: per-query deadline")
 	repeat := flag.Float64("repeat", 0.3, "loadgen: probability of re-issuing a recent query (temporal locality)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "p2pnode: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	shape := livenet.Shape{
 		Documents: *docs, Categories: *cats, Nodes: *nodes,

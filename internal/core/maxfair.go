@@ -193,13 +193,20 @@ func MaxFairReassign(st *State, opts ReassignOptions) ([]Move, error) {
 	if opts.TargetFairness <= 0 || opts.TargetFairness > 1 {
 		return nil, fmt.Errorf("core: TargetFairness %g out of (0,1]", opts.TargetFairness)
 	}
+	allClusters := make([]model.ClusterID, st.NumClusters())
+	for c := range allClusters {
+		allClusters[c] = model.ClusterID(c)
+	}
 	var moves []Move
 	for len(moves) < opts.MaxMoves && st.Fairness() < opts.TargetFairness {
+		// One cached scan serves both extremes per iteration.
 		hot := st.MostLoadedCluster()
-		best, found := bestMoveFrom(st, st.CategoriesIn(hot), func(model.ClusterID) bool { return true })
+		best, found := bestMoveFrom(st, st.CategoriesIn(hot), allClusters)
 		if !found {
-			// Fallback: feed the coldest cluster from anywhere.
-			cold := coldestCluster(st)
+			// Fallback: feed the coldest cluster from anywhere — a single
+			// explicit target, so the probe loop is O(categories) instead
+			// of O(categories × clusters).
+			cold := st.ColdestCluster()
 			all := make([]catalog.CategoryID, 0, st.NumCategories())
 			for c := 0; c < st.NumCategories(); c++ {
 				cat := catalog.CategoryID(c)
@@ -207,7 +214,7 @@ func MaxFairReassign(st *State, opts ReassignOptions) ([]Move, error) {
 					all = append(all, cat)
 				}
 			}
-			best, found = bestMoveFrom(st, all, func(to model.ClusterID) bool { return to == cold })
+			best, found = bestMoveFrom(st, all, []model.ClusterID{cold})
 		}
 		if !found {
 			break // no improving move exists
@@ -232,9 +239,11 @@ type candidateMove struct {
 	To       model.ClusterID
 }
 
-// bestMoveFrom probes moving each of cats to every admissible cluster and
+// bestMoveFrom probes moving each of cats to every target cluster and
 // returns the strictly-improving move with the highest resulting fairness.
-func bestMoveFrom(st *State, cats []catalog.CategoryID, admit func(model.ClusterID) bool) (candidateMove, bool) {
+// Targets must be in ascending cluster order to keep tie-breaking (first
+// probe wins on equal fairness) deterministic.
+func bestMoveFrom(st *State, cats []catalog.CategoryID, targets []model.ClusterID) (candidateMove, bool) {
 	var (
 		best  candidateMove
 		bestF = st.Fairness()
@@ -242,9 +251,8 @@ func bestMoveFrom(st *State, cats []catalog.CategoryID, admit func(model.Cluster
 	)
 	for _, cat := range cats {
 		from := st.ClusterOf(cat)
-		for cl := 0; cl < st.NumClusters(); cl++ {
-			to := model.ClusterID(cl)
-			if to == from || !admit(to) {
+		for _, to := range targets {
+			if to == from {
 				continue
 			}
 			if f := st.ProbeMove(cat, to); f > bestF {
@@ -253,16 +261,4 @@ func bestMoveFrom(st *State, cats []catalog.CategoryID, admit func(model.Cluster
 		}
 	}
 	return best, found
-}
-
-// coldestCluster returns the cluster with the lowest normalized popularity.
-func coldestCluster(st *State) model.ClusterID {
-	best := model.ClusterID(0)
-	bestX := st.x(0)
-	for c := 1; c < st.NumClusters(); c++ {
-		if x := st.x(model.ClusterID(c)); x < bestX {
-			best, bestX = model.ClusterID(c), x
-		}
-	}
-	return best
 }

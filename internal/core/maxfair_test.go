@@ -265,3 +265,115 @@ func TestOrderString(t *testing.T) {
 		}
 	}
 }
+
+// TestExtremesCacheMatchesScan drives the state through assigns, moves,
+// popularity drift, and unassigns, checking after every mutation that the
+// cached hottest/coldest clusters agree with a fresh linear scan.
+func TestExtremesCacheMatchesScan(t *testing.T) {
+	inst := testInstance(t, 44)
+	st, err := NewState(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	scan := func() (hot, cold model.ClusterID) {
+		hotX, coldX := st.x(0), st.x(0)
+		for c := 1; c < st.NumClusters(); c++ {
+			x := st.x(model.ClusterID(c))
+			if x > hotX {
+				hot, hotX = model.ClusterID(c), x
+			}
+			if x < coldX {
+				cold, coldX = model.ClusterID(c), x
+			}
+		}
+		return hot, cold
+	}
+	check := func(step string) {
+		t.Helper()
+		wantHot, wantCold := scan()
+		if got := st.MostLoadedCluster(); got != wantHot {
+			t.Fatalf("%s: MostLoadedCluster = %d, scan says %d", step, got, wantHot)
+		}
+		if got := st.ColdestCluster(); got != wantCold {
+			t.Fatalf("%s: ColdestCluster = %d, scan says %d", step, got, wantCold)
+		}
+	}
+	for c := 0; c < st.NumCategories(); c++ {
+		if err := st.Assign(catalog.CategoryID(c), model.ClusterID(rng.Intn(st.NumClusters()))); err != nil {
+			t.Fatal(err)
+		}
+		check("assign")
+	}
+	for i := 0; i < 200; i++ {
+		cat := catalog.CategoryID(rng.Intn(st.NumCategories()))
+		switch rng.Intn(3) {
+		case 0:
+			if err := st.Move(cat, model.ClusterID(rng.Intn(st.NumClusters()))); err != nil {
+				t.Fatal(err)
+			}
+			check("move")
+		case 1:
+			if err := st.SetCategoryPopularity(cat, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			check("drift")
+		case 2:
+			if st.ClusterOf(cat) != model.NoCluster {
+				if err := st.Unassign(cat); err != nil {
+					t.Fatal(err)
+				}
+				check("unassign")
+				if err := st.Assign(cat, model.ClusterID(rng.Intn(st.NumClusters()))); err != nil {
+					t.Fatal(err)
+				}
+				check("reassign")
+			}
+		}
+	}
+}
+
+// BenchmarkMaxFairPaperScale times the full §4.4 pipeline at the paper's
+// scale (500 categories × 100 clusters): the greedy assignment, then a
+// popularity-drift perturbation followed by MaxFair_Reassign — the two
+// hot paths the cached cluster extremes and explicit target lists speed
+// up.
+func BenchmarkMaxFairPaperScale(b *testing.B) {
+	inst, err := model.Generate(model.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("assign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MaxFair(inst, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reassign-after-drift", func(b *testing.B) {
+		res, err := MaxFair(inst, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := res.State.Clone()
+			// Concentrate popularity on a few categories so the index
+			// genuinely degrades and Reassign has work to do.
+			for j := 0; j < 50; j++ {
+				cat := catalog.CategoryID(rng.Intn(st.NumCategories()))
+				if err := st.SetCategoryPopularity(cat, st.CategoryPopularity(cat)*10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if _, err := MaxFairReassign(st, ReassignOptions{TargetFairness: 0.98, MaxMoves: 200}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

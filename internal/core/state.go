@@ -50,6 +50,13 @@ type State struct {
 	clUnits []float64
 
 	tracker *fairness.Tracker
+
+	// Cached hottest/coldest cluster ids, refreshed in one shared scan
+	// and invalidated by any mutation of the cluster totals. The MaxFair
+	// rebalancing loop asks for both every iteration; without the cache
+	// each query re-scans all clusters.
+	extremesOK       bool
+	hottest, coldest model.ClusterID
 }
 
 // NewState builds the ICLB state for an instance with no categories
@@ -194,6 +201,7 @@ func (s *State) Assign(cat catalog.CategoryID, cl model.ClusterID) error {
 	s.clPop[cl] += s.catPop[cat]
 	s.clUnits[cl] += s.catUnits[cat]
 	s.assign[cat] = cl
+	s.extremesOK = false
 	s.tracker.Update(old, s.x(cl))
 	return nil
 }
@@ -211,6 +219,7 @@ func (s *State) Unassign(cat catalog.CategoryID) error {
 	s.clPop[cl] = sub(s.clPop[cl], s.catPop[cat])
 	s.clUnits[cl] = sub(s.clUnits[cl], s.catUnits[cat])
 	s.assign[cat] = model.NoCluster
+	s.extremesOK = false
 	s.tracker.Update(old, s.x(cl))
 	return nil
 }
@@ -234,6 +243,7 @@ func (s *State) Move(cat catalog.CategoryID, to model.ClusterID) error {
 	s.clPop[to] += s.catPop[cat]
 	s.clUnits[to] += s.catUnits[cat]
 	s.assign[cat] = to
+	s.extremesOK = false
 	s.tracker.Update(oldFrom, s.x(from))
 	s.tracker.Update(oldTo, s.x(to))
 	return nil
@@ -265,17 +275,38 @@ func (s *State) ProbeMove(cat catalog.CategoryID, to model.ClusterID) float64 {
 	return s.tracker.Probe2(oldFrom, newFrom, oldTo, newTo)
 }
 
+// refreshExtremes rescans the clusters once to locate both extremes;
+// between mutations the answers are served from the cache.
+func (s *State) refreshExtremes() {
+	if s.extremesOK {
+		return
+	}
+	s.hottest, s.coldest = 0, 0
+	hotX, coldX := s.x(0), s.x(0)
+	for c := 1; c < s.numClusters; c++ {
+		x := s.x(model.ClusterID(c))
+		if x > hotX {
+			s.hottest, hotX = model.ClusterID(c), x
+		}
+		if x < coldX {
+			s.coldest, coldX = model.ClusterID(c), x
+		}
+	}
+	s.extremesOK = true
+}
+
 // MostLoadedCluster returns the cluster with the highest normalized
 // popularity (lowest id on ties).
 func (s *State) MostLoadedCluster() model.ClusterID {
-	best := model.ClusterID(0)
-	bestX := s.x(0)
-	for c := 1; c < s.numClusters; c++ {
-		if x := s.x(model.ClusterID(c)); x > bestX {
-			best, bestX = model.ClusterID(c), x
-		}
-	}
-	return best
+	s.refreshExtremes()
+	return s.hottest
+}
+
+// ColdestCluster returns the cluster with the lowest normalized
+// popularity (lowest id on ties).
+func (s *State) ColdestCluster() model.ClusterID {
+	s.refreshExtremes()
+	return s.coldest
 }
 
 // CategoriesIn returns the categories currently assigned to cluster cl.
@@ -306,6 +337,7 @@ func (s *State) SetCategoryPopularity(cat catalog.CategoryID, pop float64) error
 	old := s.x(cl)
 	s.clPop[cl] = sub(s.clPop[cl], s.catPop[cat]-pop)
 	s.catPop[cat] = pop
+	s.extremesOK = false
 	s.tracker.Update(old, s.x(cl))
 	return nil
 }

@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"p2pshare/internal/baseline"
 	"p2pshare/internal/catalog"
@@ -99,6 +101,52 @@ func clusterSeries(name string, cfg model.Config) (*ClusterSeries, error) {
 	}, nil
 }
 
+// parallelIndexed runs f(0..n-1) on a bounded worker pool and returns
+// the first error (by index order none is guaranteed — runners treat any
+// error as fatal). Each index must be self-contained: runners that
+// parallelize derive every random source from the index and the caller's
+// seed, so results are bit-identical to a serial loop regardless of
+// scheduling.
+func parallelIndexed(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}
+
 // Figure4Point is one θ of the Figure 4 robustness sweep.
 type Figure4Point struct {
 	Theta   float64
@@ -115,8 +163,12 @@ func Figure4(scale Scale, thetas []float64, seed int64) ([]Figure4Point, error) 
 	if len(thetas) == 0 {
 		thetas = []float64{0.4, 0.5, 0.6, 0.7, 0.8}
 	}
-	out := make([]Figure4Point, 0, len(thetas))
-	for _, theta := range thetas {
+	// Each θ is an independent world (own instance and rng derived only
+	// from the caller's seed), so the sweep runs on all cores with
+	// bit-identical results to the former serial loop.
+	out := make([]Figure4Point, len(thetas))
+	err := parallelIndexed(len(thetas), func(i int) error {
+		theta := thetas[i]
 		cfg := scale.Config()
 		cfg.Seed = seed
 		cfg.Catalog.CatAssign = catalog.AssignZipf
@@ -124,23 +176,27 @@ func Figure4(scale Scale, thetas []float64, seed int64) ([]Figure4Point, error) 
 		cfg.Catalog.ThetaDocs = 0.8
 		inst, err := model.Generate(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.MaxFair(inst, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		initial := res.Fairness
 
 		// §5 stress test: +5% documents, 30% of the popularity mass.
 		rng := rand.New(rand.NewSource(seed + 1))
 		if _, err := workload.FlashCrowd(inst, 0.05, 0.30, rng); err != nil {
-			return nil, err
+			return err
 		}
 		if err := res.State.Rebuild(inst); err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Figure4Point{Theta: theta, Initial: initial, Final: res.State.Fairness()})
+		out[i] = Figure4Point{Theta: theta, Initial: initial, Final: res.State.Fairness()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -171,8 +227,11 @@ func Figure5(scale Scale, runs int, seed int64) ([]Figure5Run, error) {
 	if runs <= 0 {
 		runs = 5
 	}
-	out := make([]Figure5Run, 0, runs)
-	for r := 0; r < runs; r++ {
+	// Runs are independent experiments (each derives its world and rng
+	// from seed + r*101 alone), so they run on all cores with results
+	// identical to the former serial loop.
+	out := make([]Figure5Run, runs)
+	err := parallelIndexed(runs, func(r int) error {
 		cfg := scale.Config()
 		cfg.Seed = seed + int64(r)*101
 		cfg.Catalog.CatAssign = catalog.AssignZipf
@@ -180,16 +239,16 @@ func Figure5(scale Scale, runs int, seed int64) ([]Figure5Run, error) {
 		cfg.Catalog.ThetaDocs = 0.8
 		inst, err := model.Generate(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.MaxFair(inst, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
 		inst.Catalog.ShiftCategoryPopularity(0.8, rng)
 		if err := res.State.Rebuild(inst); err != nil {
-			return nil, err
+			return err
 		}
 		traj := []float64{res.State.Fairness()}
 		moves, err := core.MaxFairReassign(res.State, core.ReassignOptions{
@@ -197,12 +256,16 @@ func Figure5(scale Scale, runs int, seed int64) ([]Figure5Run, error) {
 			MaxMoves:       64,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, mv := range moves {
 			traj = append(traj, mv.FairnessAfter)
 		}
-		out = append(out, Figure5Run{Trajectory: traj, Moves: len(moves)})
+		out[r] = Figure5Run{Trajectory: traj, Moves: len(moves)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

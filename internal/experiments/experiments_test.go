@@ -596,3 +596,43 @@ func TestVerifyFairnessConsistencyOnFigure2(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParallelFiguresDeterministic runs the parallelized sweeps twice and
+// requires bit-identical output: every index derives its world and rng
+// from the seed alone, so worker scheduling must not leak into results.
+func TestParallelFiguresDeterministic(t *testing.T) {
+	a4, err := Figure4(ScaleSmall, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := Figure4(ScaleSmall, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a4) != len(b4) {
+		t.Fatalf("Figure4 lengths differ: %d vs %d", len(a4), len(b4))
+	}
+	for i := range a4 {
+		if a4[i] != b4[i] {
+			t.Errorf("Figure4[%d] differs across runs: %+v vs %+v", i, a4[i], b4[i])
+		}
+	}
+	a5, err := Figure5(ScaleSmall, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b5, err := Figure5(ScaleSmall, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a5 {
+		if a5[r].Moves != b5[r].Moves || len(a5[r].Trajectory) != len(b5[r].Trajectory) {
+			t.Fatalf("Figure5 run %d differs across runs: %+v vs %+v", r, a5[r], b5[r])
+		}
+		for j := range a5[r].Trajectory {
+			if a5[r].Trajectory[j] != b5[r].Trajectory[j] {
+				t.Errorf("Figure5 run %d point %d: %g vs %g", r, j, a5[r].Trajectory[j], b5[r].Trajectory[j])
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/replica"
+	"p2pshare/internal/wire"
 )
 
 // Dynamic membership over TCP: a standalone peer joins an existing live
@@ -26,16 +27,15 @@ func init() {
 	gob.Register(bookMsg{})
 }
 
-// helloMsg announces a (re)joining node and its listen address.
-type helloMsg struct {
-	ID   model.NodeID
-	Addr string
-}
-
-// bookMsg shares the sender's address book.
-type bookMsg struct {
-	Book map[model.NodeID]string
-}
+// helloMsg announces a (re)joining node and its listen address; bookMsg
+// shares the sender's address book. Both are the wire package's types so
+// either codec can carry them — announce() itself always speaks gob (it
+// is a one-shot dial that must work against any peer version), which
+// doubles as standing coverage of the inbound fallback path.
+type (
+	helloMsg = wire.Hello
+	bookMsg  = wire.Book
+)
 
 // Shape are the deterministic-generation parameters every process of one
 // deployment must share (put them on the command line of each p2pnode).

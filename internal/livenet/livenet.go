@@ -15,13 +15,18 @@
 // by admission control) and only the issuing goroutine blocks, so one
 // node sustains hundreds of in-flight queries at once (engine.go).
 // Outbound messages go through a per-peer persistent-connection pool
-// (transport.go): one framed gob stream per destination, reused across
-// messages, with reconnect-on-failure and capped backoff.
+// (transport.go): one framed stream per destination, reused across
+// messages, with reconnect-on-failure and capped backoff. Streams speak
+// the internal/wire v2 binary codec (negotiated at open; see DESIGN.md
+// §10), batched many envelopes per syscall, with gob as the
+// compatibility fallback for old peers.
 package livenet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sort"
@@ -36,6 +41,7 @@ import (
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/query"
 	"p2pshare/internal/replica"
+	"p2pshare/internal/wire"
 )
 
 func init() {
@@ -58,14 +64,14 @@ const (
 	// readIdleTimeout reaps inbound connections that go silent — a peer
 	// that died without closing its socket.
 	readIdleTimeout = 2 * time.Minute
+	// readBufBytes sizes each inbound stream's read buffer.
+	readBufBytes = 64 << 10
 )
 
 // envelope frames every wire message with its sender. One connection
-// carries a stream of envelopes (gob frames them naturally).
-type envelope struct {
-	From model.NodeID
-	Msg  any
-}
+// carries a stream of envelopes; internal/wire defines the layout for
+// the v2 codec and gob frames the same type on fallback streams.
+type envelope = wire.Envelope
 
 // QueryOutcome is the result of a live query — an alias of the unified
 // query.Result shared with the facade (re-exported by the root package
@@ -155,6 +161,11 @@ type Node struct {
 	seenCur  map[uint64]struct{}
 	seenPrev map[uint64]struct{}
 
+	// legacyGob makes the node behave like a pre-v2 peer on inbound
+	// streams: the preamble is never acked, so v2 senders fall back to
+	// gob. Mixed-version testing only.
+	legacyGob atomic.Bool
+
 	nextQuery uint64
 }
 
@@ -229,6 +240,10 @@ func (n *Node) Stats() map[string]int64 {
 // QueryLatency exposes the node's query-latency histogram (milliseconds,
 // completed queries only).
 func (n *Node) QueryLatency() *metrics.SyncHistogram { return n.latency }
+
+// BatchSizes exposes the transport's write-coalescing histogram: how
+// many envelopes each flush carried to the socket.
+func (n *Node) BatchSizes() *metrics.SyncHistogram { return n.tr.batches }
 
 // Cluster is a set of live peers sharing one deployment.
 type Cluster struct {
@@ -443,8 +458,27 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// countingReader counts bytes drained from the socket into the read
+// buffer (one Add per fill, not per message).
+type countingReader struct {
+	r     io.Reader
+	stats *metrics.SyncCounter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.stats.Add("wire_bytes_in", int64(n))
+	}
+	return n, err
+}
+
 // readLoop decodes a stream of envelopes off one inbound connection —
-// the receive half of the persistent-connection transport.
+// the receive half of the persistent-connection transport. The first
+// bytes decide the codec: a wire v2 preamble is consumed and acked and
+// the stream decoded with the allocation-free frame reader; anything
+// else is a legacy sender and falls through to gob (the peeked bytes
+// stay buffered, so no data is lost).
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -453,7 +487,48 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.connsMu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(&countingReader{r: conn, stats: n.stats}, readBufBytes)
+
+	conn.SetReadDeadline(time.Now().Add(readIdleTimeout))
+	head, err := br.Peek(wire.PreambleLen)
+	if err == nil && wire.IsPreamble(head) && !n.legacyGob.Load() {
+		br.Discard(wire.PreambleLen)
+		if _, err := conn.Write([]byte{wire.Version}); err != nil {
+			return
+		}
+		n.wireReadLoop(conn, wire.NewReader(br))
+		return
+	}
+	if err != nil && len(head) == 0 {
+		return // closed before any payload
+	}
+	// Legacy (or legacy-simulating) path: gob stream, possibly after a
+	// preamble this node pretends not to understand — a real old node's
+	// decoder would error out and close, which is what makes the sender
+	// fall back; mimic that.
+	if n.legacyGob.Load() && wire.IsPreamble(head) {
+		return
+	}
+	n.gobReadLoop(conn, br)
+}
+
+func (n *Node) wireReadLoop(conn net.Conn, r *wire.Reader) {
+	for {
+		conn.SetReadDeadline(time.Now().Add(readIdleTimeout))
+		env, err := r.Next()
+		if err != nil {
+			return // stream closed, peer died, corrupt frame, or idle timeout
+		}
+		select {
+		case n.inbox <- env:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) gobReadLoop(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		conn.SetReadDeadline(time.Now().Add(readIdleTimeout))
 		var env envelope

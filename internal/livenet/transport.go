@@ -1,34 +1,61 @@
 package livenet
 
 import (
+	"bufio"
 	"encoding/gob"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
+	"p2pshare/internal/wire"
 )
 
-// The live transport keeps ONE persistent framed gob stream per
+// The live transport keeps ONE persistent framed stream per
 // (sender, receiver) pair instead of dialing a fresh TCP connection for
 // every message. Each destination peer gets a bounded outbound queue
 // drained by a dedicated writer goroutine that dials lazily, reuses the
 // established stream, and reconnects on failure with capped exponential
-// backoff plus jitter. Messages carry a small retry budget; a message
-// that exhausts it is dropped (the protocols are best-effort, exactly as
-// in the simulator) and counted. After enough consecutive dial failures
-// the transport reports the peer as down so the node can evict it from
-// its NRT — graceful degradation instead of silently routing into a
-// black hole.
+// backoff plus jitter.
+//
+// Two things make the wire path fast (the v2 work):
+//
+//   - Codec. At stream open the writer negotiates the internal/wire v2
+//     binary codec (compact varint frames, no reflection, pooled encode
+//     buffers). A peer that does not ack the preamble is a legacy gob
+//     node: the writer falls back to gob for that peer (counted as
+//     codec_fallback, sticky), so mixed-version deployments keep
+//     working.
+//   - Write coalescing. The writer drains its queue in batches of up to
+//     maxBatchMsgs envelopes through one bufio.Writer and flushes when
+//     the queue is empty or the batch is full — many envelopes per
+//     syscall under load, zero added latency when traffic is sparse
+//     (an envelope arriving alone flushes immediately). Batch sizes are
+//     observed in a histogram; bytes that reach the socket are counted
+//     as wire_bytes_out.
+//
+// Messages carry a small retry budget; a batch that exhausts it is
+// dropped (the protocols are best-effort, exactly as in the simulator)
+// and counted. After enough consecutive dial failures the transport
+// reports the peer as down so the node can evict it from its NRT —
+// graceful degradation instead of silently routing into a black hole.
 const (
 	// dialTimeout bounds one connection attempt.
 	dialTimeout = 2 * time.Second
-	// writeTimeout bounds one envelope encode on an established stream.
+	// writeTimeout bounds one batch write+flush on an established stream.
 	writeTimeout = 2 * time.Second
-	// maxSendAttempts is the per-message retry budget (dial failures and
-	// broken-stream re-encodes both consume attempts).
+	// negotiateTimeout bounds the codec handshake at stream open (the
+	// preamble write plus the one-byte ack read). A legacy gob receiver
+	// never acks — its decoder chokes on the preamble and closes the
+	// stream — so the usual fallback signal is an immediate EOF; the
+	// deadline covers a peer that stalls instead.
+	negotiateTimeout = 1 * time.Second
+	// maxSendAttempts is the per-batch retry budget (dial failures and
+	// broken-stream rewrites both consume attempts).
 	maxSendAttempts = 3
 	// backoffBase/backoffCap shape the reconnect backoff: base<<fails,
 	// capped, plus up to 50% jitter.
@@ -41,15 +68,21 @@ const (
 	// sendQueueCap bounds each peer's outbound queue; enqueue never
 	// blocks the event loop — overflow is dropped and counted.
 	sendQueueCap = 256
+	// maxBatchMsgs caps how many queued envelopes one flush coalesces.
+	maxBatchMsgs = 64
+	// writeBufBytes sizes each peer stream's write buffer; a batch that
+	// outgrows it flushes early inside bufio.
+	writeBufBytes = 64 << 10
 )
 
 // transport is one node's connection pool. All methods are safe for
 // concurrent use; in practice enqueue is called from the owning node's
 // event loop and the writers run concurrently.
 type transport struct {
-	from  model.NodeID
-	seed  int64
-	stats *metrics.SyncCounter
+	from    model.NodeID
+	seed    int64
+	stats   *metrics.SyncCounter
+	batches *metrics.SyncHistogram // envelopes coalesced per flush
 
 	mu     sync.Mutex
 	peers  map[model.NodeID]*peerConn
@@ -57,6 +90,14 @@ type transport struct {
 
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// forceGob skips v2 negotiation on every stream (legacy-node
+	// simulation in tests, codec baseline in benchmarks).
+	forceGob atomic.Bool
+	// flushEach flushes after every envelope, reproducing the
+	// syscall-per-message behavior of the pre-batching transport
+	// (benchmark baseline only).
+	flushEach atomic.Bool
 
 	// dial is swappable so tests can inject dial failures.
 	dialMu sync.Mutex
@@ -72,6 +113,10 @@ type transport struct {
 type peerConn struct {
 	to    model.NodeID
 	queue chan envelope
+
+	// gobOnly is set after a failed codec negotiation: the peer is a
+	// legacy gob node and every future stream to it skips the preamble.
+	gobOnly atomic.Bool
 
 	mu   sync.Mutex
 	addr string
@@ -91,11 +136,12 @@ func (p *peerConn) currentAddr() string {
 
 func newTransport(from model.NodeID, seed int64, stats *metrics.SyncCounter) *transport {
 	return &transport{
-		from:  from,
-		seed:  seed,
-		stats: stats,
-		peers: make(map[model.NodeID]*peerConn),
-		done:  make(chan struct{}),
+		from:    from,
+		seed:    seed,
+		stats:   stats,
+		batches: &metrics.SyncHistogram{},
+		peers:   make(map[model.NodeID]*peerConn),
+		done:    make(chan struct{}),
 		dial: func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, dialTimeout)
 		},
@@ -175,72 +221,201 @@ func (t *transport) close() {
 	t.wg.Wait()
 }
 
-// run is the writer goroutine for one peer: it drains the queue, dialing
-// lazily and reusing the stream across messages.
+// countingWriter counts bytes that reach the socket (post-coalescing, so
+// one Add per flush, not per envelope).
+type countingWriter struct {
+	w     io.Writer
+	stats *metrics.SyncCounter
+	label string
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.stats.Add(cw.label, int64(n))
+	}
+	return n, err
+}
+
+// peerWriter is one writer goroutine's connection state: the socket, the
+// batching buffer, and the codec negotiated for the current stream.
+type peerWriter struct {
+	t   *transport
+	p   *peerConn
+	rng *rand.Rand
+
+	conn   net.Conn
+	bw     *bufio.Writer // coalesces frames; flushed once per batch
+	gobEnc *gob.Encoder  // non-nil ⇒ this stream speaks the gob fallback
+
+	dialFails int  // consecutive dial failures (drives backoff + eviction)
+	notified  bool // onPeerDown fired for the current outage
+}
+
+// run is the writer goroutine for one peer: it drains the queue in
+// batches, dialing lazily and reusing the stream across messages.
 func (t *transport) run(p *peerConn) {
 	defer t.wg.Done()
-	var conn net.Conn
-	var enc *gob.Encoder
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
-	rng := rand.New(rand.NewSource(t.seed + int64(t.from)*7919 + int64(p.to)*104729))
-	dialFails := 0   // consecutive dial failures (drives backoff + eviction)
-	notified := false // onPeerDown fired for the current outage
+	w := &peerWriter{
+		t: t, p: p,
+		rng: rand.New(rand.NewSource(t.seed + int64(t.from)*7919 + int64(p.to)*104729)),
+	}
+	defer w.drop()
+	batch := make([]envelope, 0, maxBatchMsgs)
 	for {
 		select {
 		case <-t.done:
 			return
 		case env := <-p.queue:
-			sent := false
-			for attempt := 0; attempt < maxSendAttempts; attempt++ {
-				if attempt > 0 {
-					t.stats.Add("transport_retries", 1)
+			// Coalesce whatever else is already queued — no waiting, so
+			// a lone envelope still flushes immediately.
+			batch = append(batch[:0], env)
+		drain:
+			for len(batch) < maxBatchMsgs {
+				select {
+				case e := <-p.queue:
+					batch = append(batch, e)
+				default:
+					break drain
 				}
-				if conn == nil {
-					c, err := t.dialPeer(p.currentAddr())
-					if err != nil {
-						dialFails++
-						t.stats.Add("transport_dial_failures", 1)
-						if dialFails >= evictAfterFails && !notified {
-							notified = true
-							t.stats.Add("transport_peer_evictions", 1)
-							if t.onPeerDown != nil {
-								t.onPeerDown(p.to)
-							}
-						}
-						if !t.backoff(rng, dialFails) {
-							return // transport closed mid-backoff
-						}
-						continue
-					}
-					t.stats.Add("transport_dials", 1)
-					dialFails = 0
-					notified = false
-					conn, enc = c, gob.NewEncoder(c)
-				} else {
-					t.stats.Add("transport_reuses", 1)
-				}
-				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-				if err := enc.Encode(env); err != nil {
-					// Stream broke (peer restarted or died): reconnect on
-					// the next attempt and re-encode this same envelope.
-					conn.Close()
-					conn, enc = nil, nil
-					t.stats.Add("transport_reconnects", 1)
-					continue
-				}
-				t.stats.Add("transport_sends", 1)
-				sent = true
-				break
 			}
-			if !sent {
-				t.stats.Add("transport_send_failures", 1)
+			if !w.deliver(batch) {
+				return // transport closed mid-backoff
 			}
 		}
 	}
+}
+
+// deliver writes one batch through the persistent stream — usually one
+// syscall for the whole batch via the buffered writer. The retry budget
+// is per batch; envelopes already framed when a flush fails are lost
+// (best-effort, exactly like bytes that made it into a dead kernel
+// buffer) and only the envelope that failed mid-write is retried on the
+// reconnected stream. Returns false when the transport closed.
+func (w *peerWriter) deliver(batch []envelope) bool {
+	t := w.t
+	sent := 0
+	for attempt := 0; attempt < maxSendAttempts; attempt++ {
+		if attempt > 0 {
+			t.stats.Add("transport_retries", 1)
+		}
+		if w.conn == nil {
+			ok, alive := w.connect()
+			if !alive {
+				return false
+			}
+			if !ok {
+				continue // dial failed; backoff already served
+			}
+		} else if attempt == 0 {
+			t.stats.Add("transport_reuses", 1)
+		}
+		w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		var err error
+		for sent < len(batch) {
+			if err = w.writeEnvelope(batch[sent]); err != nil {
+				break
+			}
+			sent++
+			if t.flushEach.Load() {
+				if err = w.bw.Flush(); err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			err = w.bw.Flush()
+		}
+		if err != nil {
+			// Stream broke (peer restarted or died): reconnect on the
+			// next attempt and resume from the failed envelope.
+			w.drop()
+			t.stats.Add("transport_reconnects", 1)
+			continue
+		}
+		t.stats.Add("transport_sends", int64(len(batch)))
+		t.batches.Observe(float64(len(batch)))
+		return true
+	}
+	t.stats.Add("transport_send_failures", int64(len(batch)-sent))
+	if sent > 0 {
+		t.stats.Add("transport_sends", int64(sent))
+		t.batches.Observe(float64(sent))
+	}
+	return true
+}
+
+// connect dials the peer and, unless it is known to be gob-only,
+// negotiates the v2 codec. On dial failure it serves the backoff and
+// returns ok=false; alive reports whether the transport is still open.
+func (w *peerWriter) connect() (ok, alive bool) {
+	t, p := w.t, w.p
+	c, err := t.dialPeer(p.currentAddr())
+	if err == nil && !p.gobOnly.Load() && !t.forceGob.Load() {
+		if !negotiate(c) {
+			// Legacy peer: it closed the stream (or stayed silent)
+			// instead of acking. Redial and speak gob from now on.
+			c.Close()
+			t.stats.Add("codec_fallback", 1)
+			p.gobOnly.Store(true)
+			c, err = t.dialPeer(p.currentAddr())
+		}
+	}
+	if err != nil {
+		w.dialFails++
+		t.stats.Add("transport_dial_failures", 1)
+		if w.dialFails >= evictAfterFails && !w.notified {
+			w.notified = true
+			t.stats.Add("transport_peer_evictions", 1)
+			if t.onPeerDown != nil {
+				t.onPeerDown(p.to)
+			}
+		}
+		return false, t.backoff(w.rng, w.dialFails)
+	}
+	t.stats.Add("transport_dials", 1)
+	w.dialFails = 0
+	w.notified = false
+	w.conn = c
+	w.bw = bufio.NewWriterSize(&countingWriter{w: c, stats: t.stats, label: "wire_bytes_out"}, writeBufBytes)
+	if p.gobOnly.Load() || t.forceGob.Load() {
+		w.gobEnc = gob.NewEncoder(w.bw)
+	} else {
+		w.gobEnc = nil
+	}
+	return true, true
+}
+
+// negotiate writes the v2 preamble and waits for the receiver's
+// one-byte ack. False means the peer does not speak v2.
+func negotiate(c net.Conn) bool {
+	c.SetDeadline(time.Now().Add(negotiateTimeout))
+	defer c.SetDeadline(time.Time{})
+	if _, err := c.Write(wire.Preamble()); err != nil {
+		return false
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		return false
+	}
+	return ack[0] == wire.Version
+}
+
+// writeEnvelope frames one envelope onto the buffered stream with the
+// codec negotiated at connect time.
+func (w *peerWriter) writeEnvelope(env envelope) error {
+	if w.gobEnc != nil {
+		return w.gobEnc.Encode(env)
+	}
+	return wire.WriteEnvelope(w.bw, env)
+}
+
+// drop closes and forgets the current stream.
+func (w *peerWriter) drop() {
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.conn, w.bw, w.gobEnc = nil, nil, nil
 }
 
 // backoff sleeps min(base<<(fails-1), cap) plus up to 50% jitter,

@@ -237,18 +237,25 @@ func TestTransportEvictsDeadPeer(t *testing.T) {
 	downs := make(chan model.NodeID, 4)
 	tr.onPeerDown = func(id model.NodeID) { downs <- id }
 
-	// Each message burns maxSendAttempts dial attempts; a few messages
-	// push the consecutive-failure count past evictAfterFails.
-	for i := 0; i < 4; i++ {
-		tr.enqueue(9, "127.0.0.1:1", envelope{From: 1, Msg: overlay.QueryMsg{ID: uint64(i)}})
-	}
-	select {
-	case id := <-downs:
-		if id != 9 {
-			t.Errorf("evicted peer %d, want 9", id)
+	// Each batch burns up to maxSendAttempts dial attempts; steady
+	// traffic pushes the consecutive-failure count past evictAfterFails.
+	// (Queued messages coalesce into one batch, so a single burst is not
+	// enough — which is correct: eviction is for peers that stay down
+	// while traffic keeps flowing.)
+	deadline := time.After(15 * time.Second)
+	for i := uint64(0); ; i++ {
+		tr.enqueue(9, "127.0.0.1:1", envelope{From: 1, Msg: overlay.QueryMsg{ID: i}})
+		select {
+		case id := <-downs:
+			if id != 9 {
+				t.Errorf("evicted peer %d, want 9", id)
+			}
+		case <-time.After(100 * time.Millisecond):
+			continue
+		case <-deadline:
+			t.Fatalf("onPeerDown never fired: %v", stats.Snapshot())
 		}
-	case <-time.After(15 * time.Second):
-		t.Fatalf("onPeerDown never fired: %v", stats.Snapshot())
+		break
 	}
 	if stats.Get("transport_peer_evictions") == 0 {
 		t.Error("eviction not counted")

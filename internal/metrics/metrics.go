@@ -47,6 +47,15 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Max returns the largest sample (0 when empty).
+// Sum returns the total of all samples (0 when empty).
+func (h *Histogram) Sum() float64 {
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
 func (h *Histogram) Max() float64 {
 	var max float64
 	for i, v := range h.samples {
@@ -252,6 +261,13 @@ func (h *SyncHistogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.h.Quantile(q)
+}
+
+// Sum returns the total of all samples (0 when empty).
+func (h *SyncHistogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Sum()
 }
 
 // Max returns the largest sample (0 when empty).

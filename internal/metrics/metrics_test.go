@@ -270,3 +270,22 @@ func TestSyncHistogramConcurrent(t *testing.T) {
 		t.Errorf("mean = %f", m)
 	}
 }
+
+func TestHistogramSum(t *testing.T) {
+	var h Histogram
+	if h.Sum() != 0 {
+		t.Errorf("empty Sum = %g, want 0", h.Sum())
+	}
+	for _, v := range []float64{1.5, 2, 3.5} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); got != 7 {
+		t.Errorf("Sum = %g, want 7", got)
+	}
+	var sh SyncHistogram
+	sh.Observe(4)
+	sh.Observe(6)
+	if got := sh.Sum(); got != 10 {
+		t.Errorf("SyncHistogram Sum = %g, want 10", got)
+	}
+}

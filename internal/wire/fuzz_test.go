@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzEnvelopeRoundTrip feeds arbitrary bytes to the frame decoder. Two
+// properties must hold for every input:
+//
+//  1. Decoding never panics and never allocates unboundedly — corrupt
+//     frames fail with an error (the test harness itself catches panics
+//     and out-of-memory aborts).
+//  2. Any input that DOES decode re-encodes to an envelope that decodes
+//     to the same value: decode(encode(decode(b))) == decode(b). The
+//     byte strings may differ (varints accept non-minimal forms) but the
+//     value must be stable.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, env := range sampleEnvelopes() {
+		b, err := AppendEnvelope(nil, env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagResult, 0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add(Preamble())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		env, err := DecodeEnvelope(b)
+		if err != nil {
+			return // corrupt input rejected cleanly — property 1 holds
+		}
+		reenc, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatalf("decoded envelope %+v does not re-encode: %v", env, err)
+		}
+		env2, err := DecodeEnvelope(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if env.From != env2.From || !equivalentMsg(env.Msg, env2.Msg) {
+			t.Fatalf("round trip unstable:\n first = %+v\nsecond = %+v", env, env2)
+		}
+	})
+}

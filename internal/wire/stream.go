@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Stream negotiation. A v2 sender opens every stream with a 5-byte
+// preamble ("P2PW" + version); a v2 receiver peeks at the first bytes of
+// an inbound stream, and on a preamble match consumes it, writes the
+// accepted version back as a one-byte ack, and decodes v2 frames from
+// then on. Absent the preamble the receiver falls straight through to
+// gob, so old senders keep working unchanged. An old RECEIVER never
+// acks — its gob decoder chokes on the preamble and closes the stream —
+// which the sender reads as "speak gob": it redials and uses the
+// fallback codec (counted as codec_fallback, sticky per peer).
+
+// preamble opens every v2 stream.
+var preamble = [5]byte{'P', '2', 'P', 'W', Version}
+
+// PreambleLen is the number of bytes IsPreamble needs to inspect.
+const PreambleLen = len(preamble)
+
+// Preamble returns the stream-open header a v2 sender writes.
+func Preamble() []byte {
+	p := preamble
+	return p[:]
+}
+
+// IsPreamble reports whether b (at least PreambleLen bytes) opens a
+// v2 stream this package can decode.
+func IsPreamble(b []byte) bool {
+	if len(b) < PreambleLen {
+		return false
+	}
+	for i := range preamble {
+		if b[i] != preamble[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// encPool recycles per-envelope encode buffers across all writers; a
+// steady-state send allocates nothing.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// WriteEnvelope frames env (uvarint length prefix + payload) onto w.
+// The payload is staged in a pooled scratch buffer, so the frame reaches
+// the buffered writer in exactly two Write calls and no allocations.
+func WriteEnvelope(w *bufio.Writer, env Envelope) error {
+	bp := encPool.Get().(*[]byte)
+	b, err := AppendEnvelope((*bp)[:0], env)
+	*bp = b[:0] // keep grown capacity for the next borrower
+	defer encPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	if len(b) > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(b), MaxFrameBytes)
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(b)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Reader decodes a stream of length-prefixed frames, reusing one payload
+// buffer across messages — the accept path's only per-message
+// allocations are the slices the decoded message itself must own.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps a buffered reader positioned just past the preamble.
+func NewReader(br *bufio.Reader) *Reader { return &Reader{br: br} }
+
+// Next reads and decodes one envelope. Errors are terminal for the
+// stream (a broken length prefix leaves no way to resynchronize).
+func (r *Reader) Next() (Envelope, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if n == 0 || n > MaxFrameBytes {
+		return Envelope{}, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	b := r.buf[:n]
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return Envelope{}, err
+	}
+	return DecodeEnvelope(b)
+}
