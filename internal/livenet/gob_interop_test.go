@@ -1,0 +1,125 @@
+package livenet
+
+// Interop coverage for the gob fallback against GENUINE pre-wire-v2
+// peers. The hex frames below were captured from the pre-v2 encoder —
+// envelope/helloMsg/bookMsg as structs local to this package,
+// registered with plain gob.Register, i.e. wire names
+// "p2pshare/internal/livenet.helloMsg"/".bookMsg" (definitions as of
+// commit 9a03ccc). Gob matches interface values by registered name, so
+// these bytes only decode while init() keeps registering the aliased
+// wire types under the legacy names; the same-binary round-trip tests
+// elsewhere cannot catch a name drift because both ends share one
+// registry.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"net"
+	"testing"
+	"time"
+
+	"p2pshare/internal/model"
+)
+
+// preV2HelloFrame is gob(envelope{From: 7, Msg: helloMsg{ID: 7, Addr:
+// "127.0.0.1:6117"}}) — the exact bytes a pre-v2 joiner's announce()
+// writes.
+const preV2HelloFrame = "267f03010108656e76656c6f706501ff80000102010446726f6d01040001034d736701100000004eff80010e012270327073686172652f696e7465726e616c2f6c6976656e65742e68656c6c6f4d7367ff810301010868656c6c6f4d736701ff8200010201024944010400010441646472010c00000017ff8213010e010e3132372e302e302e313a363131370000"
+
+// preV2BookFrame is gob(envelope{From: 7, Msg: bookMsg{Book:
+// map[model.NodeID]string{7: "127.0.0.1:6117"}}}) — a pre-v2 node's
+// address-book reply.
+const preV2BookFrame = "267f03010108656e76656c6f706501ff80000102010446726f6d01040001034d7367011000000046ff80010e012170327073686172652f696e7465726e616c2f6c6976656e65742e626f6f6b4d7367ff8303010107626f6f6b4d736701ff840001010104426f6f6b01ff8600000027ff85040101176d61705b6d6f64656c2e4e6f646549445d737472696e6701ff86000104010c000017ff841301010e0e3132372e302e302e313a363131370000"
+
+func decodeHexFrame(t *testing.T, s string) []byte {
+	t.Helper()
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad captured frame hex: %v", err)
+	}
+	return raw
+}
+
+// TestPreV2GobHelloDecodes replays a captured pre-v2 hello through this
+// binary's gob registry — the inbound half of a mixed-version join.
+func TestPreV2GobHelloDecodes(t *testing.T) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(decodeHexFrame(t, preV2HelloFrame))).Decode(&env); err != nil {
+		t.Fatalf("decode captured pre-v2 hello: %v", err)
+	}
+	hello, ok := env.Msg.(helloMsg)
+	if !ok {
+		t.Fatalf("decoded message is %T, want helloMsg", env.Msg)
+	}
+	if env.From != 7 || hello.ID != 7 || hello.Addr != "127.0.0.1:6117" {
+		t.Fatalf("decoded from=%d hello=%+v, want from=7 id=7 addr=127.0.0.1:6117", env.From, hello)
+	}
+}
+
+// TestPreV2GobBookDecodes replays a captured pre-v2 address-book reply.
+func TestPreV2GobBookDecodes(t *testing.T) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(decodeHexFrame(t, preV2BookFrame))).Decode(&env); err != nil {
+		t.Fatalf("decode captured pre-v2 book: %v", err)
+	}
+	book, ok := env.Msg.(bookMsg)
+	if !ok {
+		t.Fatalf("decoded message is %T, want bookMsg", env.Msg)
+	}
+	if addr := book.Book[7]; addr != "127.0.0.1:6117" {
+		t.Fatalf("decoded book %+v, want {7: 127.0.0.1:6117}", book.Book)
+	}
+}
+
+// TestGobWireNamesStable checks the outbound direction: the names this
+// binary transmits in interface values are still the legacy spellings a
+// pre-v2 decoder knows.
+func TestGobWireNamesStable(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(envelope{From: 1, Msg: helloMsg{ID: 1, Addr: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(envelope{From: 1, Msg: bookMsg{Book: map[model.NodeID]string{1: "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"p2pshare/internal/livenet.helloMsg",
+		"p2pshare/internal/livenet.bookMsg",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("gob stream does not carry legacy type name %q — a pre-v2 peer cannot decode it", name)
+		}
+	}
+	if bytes.Contains(buf.Bytes(), []byte("p2pshare/internal/wire.")) {
+		t.Error("gob stream carries wire-package type names, which pre-v2 peers do not know")
+	}
+}
+
+// TestPreV2AnnounceReachesBook feeds the captured hello to a LIVE node
+// over TCP — byte-for-byte what a pre-v2 joiner sends — and checks the
+// node admits the joiner to its address book.
+func TestPreV2AnnounceReachesBook(t *testing.T) {
+	n, err := StartNode(testShape(), 0, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(decodeHexFrame(t, preV2HelloFrame)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.KnownPeers() >= 2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("node never admitted the pre-v2 joiner; knows %d peers", n.KnownPeers())
+}

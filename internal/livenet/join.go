@@ -23,8 +23,15 @@ import (
 // address book.
 
 func init() {
-	gob.Register(helloMsg{})
-	gob.Register(bookMsg{})
+	// RegisterName, not Register: before wire v2, helloMsg and bookMsg
+	// were structs local to this package, so their gob wire names are
+	// "p2pshare/internal/livenet.helloMsg"/".bookMsg". Gob matches
+	// interface values by registered name, so aliasing the types to the
+	// wire package must not change the names — a pre-v2 peer has to keep
+	// decoding our hellos/books (and we theirs) for the join handshake to
+	// work across versions (pinned by the tests in gob_interop_test.go).
+	gob.RegisterName("p2pshare/internal/livenet.helloMsg", helloMsg{})
+	gob.RegisterName("p2pshare/internal/livenet.bookMsg", bookMsg{})
 }
 
 // helloMsg announces a (re)joining node and its listen address; bookMsg

@@ -3,11 +3,13 @@ package livenet
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"p2pshare/internal/metrics"
@@ -26,10 +28,13 @@ import (
 //
 //   - Codec. At stream open the writer negotiates the internal/wire v2
 //     binary codec (compact varint frames, no reflection, pooled encode
-//     buffers). A peer that does not ack the preamble is a legacy gob
-//     node: the writer falls back to gob for that peer (counted as
-//     codec_fallback, sticky), so mixed-version deployments keep
-//     working.
+//     buffers). A peer that CLOSES the stream on the preamble is a
+//     legacy gob node: the writer falls back to gob for that peer
+//     (counted as codec_fallback, sticky), so mixed-version deployments
+//     keep working. An ack TIMEOUT is ambiguous (genuine legacy decoders
+//     block rather than close; v2 peers can stall transiently), so it
+//     downgrades only the one stream and goes sticky only after a
+//     streak — see connect().
 //   - Write coalescing. The writer drains its queue in batches of up to
 //     maxBatchMsgs envelopes through one bufio.Writer and flushes when
 //     the queue is empty or the batch is full — many envelopes per
@@ -50,10 +55,16 @@ const (
 	writeTimeout = 2 * time.Second
 	// negotiateTimeout bounds the codec handshake at stream open (the
 	// preamble write plus the one-byte ack read). A legacy gob receiver
-	// never acks — its decoder chokes on the preamble and closes the
-	// stream — so the usual fallback signal is an immediate EOF; the
-	// deadline covers a peer that stalls instead.
+	// never acks: it either closes the stream outright (an immediate
+	// EOF) or — the real pre-v2 decoder — blocks mid-message, in which
+	// case this deadline is what surfaces the fallback.
 	negotiateTimeout = 1 * time.Second
+	// legacyNegotiateStreak is how many CONSECUTIVE ack timeouts prove a
+	// peer legacy (sticky gob). Below the streak each timeout downgrades
+	// only the one stream, so a transient stall — a v2 peer restarting
+	// between accept and ack — cannot permanently pin a v2-capable peer
+	// to the slower codec.
+	legacyNegotiateStreak = 3
 	// maxSendAttempts is the per-batch retry budget (dial failures and
 	// broken-stream rewrites both consume attempts).
 	maxSendAttempts = 3
@@ -114,8 +125,11 @@ type peerConn struct {
 	to    model.NodeID
 	queue chan envelope
 
-	// gobOnly is set after a failed codec negotiation: the peer is a
-	// legacy gob node and every future stream to it skips the preamble.
+	// gobOnly is set when negotiation proves the peer is a legacy gob
+	// node — it closed the stream on the preamble, or timed out the ack
+	// legacyNegotiateStreak times in a row; every future stream to it
+	// skips the preamble. A lone transient timeout never sets it, so one
+	// slow handshake cannot permanently downgrade a v2-capable peer.
 	gobOnly atomic.Bool
 
 	mu   sync.Mutex
@@ -250,6 +264,9 @@ type peerWriter struct {
 
 	dialFails int  // consecutive dial failures (drives backoff + eviction)
 	notified  bool // onPeerDown fired for the current outage
+	// negotiateTimeouts counts consecutive ack timeouts; a streak of
+	// legacyNegotiateStreak makes the gob downgrade sticky (see connect).
+	negotiateTimeouts int
 }
 
 // run is the writer goroutine for one peer: it drains the queue in
@@ -291,10 +308,15 @@ func (t *transport) run(p *peerConn) {
 // is per batch; envelopes already framed when a flush fails are lost
 // (best-effort, exactly like bytes that made it into a dead kernel
 // buffer) and only the envelope that failed mid-write is retried on the
-// reconnected stream. Returns false when the transport closed.
+// reconnected stream. Only envelopes confirmed on the socket by a
+// successful Flush count as transport_sends (and in the batch
+// histogram); framed-but-unflushed envelopes are send failures. Returns
+// false when the transport closed.
 func (w *peerWriter) deliver(batch []envelope) bool {
 	t := w.t
-	sent := 0
+	sent := 0  // next envelope to frame (the resume point after a reconnect)
+	acked := 0 // confirmed on the socket by a successful Flush
+	lost := 0  // framed into a stream that died before their flush
 	for attempt := 0; attempt < maxSendAttempts; attempt++ {
 		if attempt > 0 {
 			t.stats.Add("transport_retries", 1)
@@ -321,26 +343,31 @@ func (w *peerWriter) deliver(batch []envelope) bool {
 				if err = w.bw.Flush(); err != nil {
 					break
 				}
+				acked = sent - lost
 			}
 		}
 		if err == nil {
-			err = w.bw.Flush()
+			if err = w.bw.Flush(); err == nil {
+				acked = sent - lost
+			}
 		}
 		if err != nil {
-			// Stream broke (peer restarted or died): reconnect on the
+			// Stream broke (peer restarted or died): everything framed
+			// but not yet flushed died with the buffer. Reconnect on the
 			// next attempt and resume from the failed envelope.
+			lost = sent - acked
 			w.drop()
 			t.stats.Add("transport_reconnects", 1)
 			continue
 		}
-		t.stats.Add("transport_sends", int64(len(batch)))
-		t.batches.Observe(float64(len(batch)))
-		return true
+		break
 	}
-	t.stats.Add("transport_send_failures", int64(len(batch)-sent))
-	if sent > 0 {
-		t.stats.Add("transport_sends", int64(sent))
-		t.batches.Observe(float64(sent))
+	if acked > 0 {
+		t.stats.Add("transport_sends", int64(acked))
+		t.batches.Observe(float64(acked))
+	}
+	if failed := len(batch) - acked; failed > 0 {
+		t.stats.Add("transport_send_failures", int64(failed))
 	}
 	return true
 }
@@ -351,13 +378,39 @@ func (w *peerWriter) deliver(batch []envelope) bool {
 func (w *peerWriter) connect() (ok, alive bool) {
 	t, p := w.t, w.p
 	c, err := t.dialPeer(p.currentAddr())
-	if err == nil && !p.gobOnly.Load() && !t.forceGob.Load() {
-		if !negotiate(c) {
-			// Legacy peer: it closed the stream (or stayed silent)
-			// instead of acking. Redial and speak gob from now on.
+	gobStream := p.gobOnly.Load() || t.forceGob.Load()
+	if err == nil && !gobStream {
+		switch negotiate(c) {
+		case negotiated:
+			w.negotiateTimeouts = 0
+		case legacyPeer:
+			// It closed the stream on the preamble — proof it will never
+			// ack. Redial and speak gob to this peer from now on.
 			c.Close()
 			t.stats.Add("codec_fallback", 1)
 			p.gobOnly.Store(true)
+			gobStream = true
+			c, err = t.dialPeer(p.currentAddr())
+		case negotiateFailed:
+			// Ambiguous. A REAL pre-v2 receiver does not close on the
+			// preamble — its gob decoder reads 'P' as an 80-byte message
+			// length and blocks (up to readIdleTimeout) waiting for the
+			// rest — so an ack timeout is the normal legacy signal in a
+			// genuine mixed deployment. But it is also what a v2 peer
+			// restarting between accept and ack (or stalled under load)
+			// produces. Fall back to gob for THIS stream only — v2
+			// receivers sniff and accept gob, so traffic flows either
+			// way — and make the downgrade sticky only after a streak of
+			// consecutive timeouts, so one slow handshake cannot
+			// permanently pin a v2-capable peer to the slower codec.
+			c.Close()
+			t.stats.Add("codec_fallback", 1)
+			t.stats.Add("transport_negotiate_timeouts", 1)
+			gobStream = true
+			w.negotiateTimeouts++
+			if w.negotiateTimeouts >= legacyNegotiateStreak {
+				p.gobOnly.Store(true)
+			}
 			c, err = t.dialPeer(p.currentAddr())
 		}
 	}
@@ -378,7 +431,7 @@ func (w *peerWriter) connect() (ok, alive bool) {
 	w.notified = false
 	w.conn = c
 	w.bw = bufio.NewWriterSize(&countingWriter{w: c, stats: t.stats, label: "wire_bytes_out"}, writeBufBytes)
-	if p.gobOnly.Load() || t.forceGob.Load() {
+	if gobStream {
 		w.gobEnc = gob.NewEncoder(w.bw)
 	} else {
 		w.gobEnc = nil
@@ -386,19 +439,47 @@ func (w *peerWriter) connect() (ok, alive bool) {
 	return true, true
 }
 
+// negotiationResult classifies one codec handshake attempt.
+type negotiationResult int
+
+const (
+	negotiated      negotiationResult = iota // peer acked v2
+	legacyPeer                               // peer closed the stream on the preamble: gob node
+	negotiateFailed                          // transient failure: retry v2 on the next connect
+)
+
 // negotiate writes the v2 preamble and waits for the receiver's
-// one-byte ack. False means the peer does not speak v2.
-func negotiate(c net.Conn) bool {
+// one-byte ack.
+func negotiate(c net.Conn) negotiationResult {
 	c.SetDeadline(time.Now().Add(negotiateTimeout))
 	defer c.SetDeadline(time.Time{})
 	if _, err := c.Write(wire.Preamble()); err != nil {
-		return false
+		return classifyNegotiateErr(err)
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(c, ack[:]); err != nil {
-		return false
+		return classifyNegotiateErr(err)
 	}
-	return ack[0] == wire.Version
+	if ack[0] != wire.Version {
+		// It answered the framing handshake with a version this sender
+		// does not speak; gob is the lingua franca.
+		return legacyPeer
+	}
+	return negotiated
+}
+
+// classifyNegotiateErr separates the legacy-decoder signature from
+// transient breakage. A legacy gob receiver never acks: its decoder
+// chokes on the preamble and CLOSES the stream, which the sender sees as
+// EOF or a reset. A deadline expiry (v2 peer restarting between accept
+// and ack, or slow under load) proves nothing and must not stick the
+// peer on the slow codec.
+func classifyNegotiateErr(err error) negotiationResult {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return legacyPeer
+	}
+	return negotiateFailed
 }
 
 // writeEnvelope frames one envelope onto the buffered stream with the

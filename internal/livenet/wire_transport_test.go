@@ -132,6 +132,104 @@ func TestTransportBatchingCoalesces(t *testing.T) {
 	t.Logf("batch sizes over %d envelopes: %s", burst, tr.batches.Summary())
 }
 
+// TestNegotiateTimeoutNotSticky stalls the FIRST handshake past the ack
+// deadline — a v2 peer hiccuping between accept and ack — then serves
+// the resulting gob-fallback stream and kills it. The sender must
+// re-probe v2 on the reconnect: a lone transient timeout may downgrade
+// one stream, but never pin the peer to gob for the process lifetime.
+func TestNegotiateTimeoutNotSticky(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := make(chan string, 256)
+	var wg sync.WaitGroup
+	go func() {
+		for connNo := 1; ; connNo++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn, connNo int) {
+				defer wg.Done()
+				defer conn.Close()
+				br := bufio.NewReaderSize(conn, readBufBytes)
+				head, err := br.Peek(wire.PreambleLen)
+				if connNo == 1 {
+					// Swallow the preamble, never ack, and hold the
+					// stream open until the sender gives up — the
+					// blocking (not closing) non-acker.
+					io.Copy(io.Discard, br)
+					return
+				}
+				if err == nil && wire.IsPreamble(head) {
+					br.Discard(wire.PreambleLen)
+					if _, err := conn.Write([]byte{wire.Version}); err != nil {
+						return
+					}
+					r := wire.NewReader(br)
+					for {
+						if _, err := r.Next(); err != nil {
+							return
+						}
+						codec <- "wire"
+					}
+				}
+				// Gob fallback stream: take one envelope, then let the
+				// deferred close kill it so the sender reconnects.
+				var env envelope
+				if err := gob.NewDecoder(br).Decode(&env); err != nil {
+					return
+				}
+				codec <- "gob"
+			}(conn, connNo)
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); wg.Wait() })
+
+	stats := metrics.NewSyncCounter()
+	tr := newTransport(1, 11, stats)
+	defer tr.close()
+
+	env := envelope{From: 1, Msg: overlay.QueryMsg{ID: 1}}
+	tr.enqueue(2, ln.Addr().String(), env)
+	select {
+	case c := <-codec:
+		if c != "gob" {
+			t.Fatalf("first envelope arrived via %q, want the per-stream gob fallback", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("first envelope never arrived: %v", stats.Snapshot())
+	}
+
+	// The fallback stream is dead; keep sending until traffic flows
+	// again. The reconnect must have re-probed (and won) v2.
+	deadline := time.Now().Add(10 * time.Second)
+	gotWire := false
+	for !gotWire && time.Now().Before(deadline) {
+		tr.enqueue(2, ln.Addr().String(), env)
+		select {
+		case c := <-codec:
+			gotWire = c == "wire"
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	if !gotWire {
+		t.Fatalf("traffic never returned to the v2 codec after a transient stall: %v", stats.Snapshot())
+	}
+	if p := tr.peer(2, ln.Addr().String()); p.gobOnly.Load() {
+		t.Error("one ack timeout marked the peer gob-only (sticky downgrade)")
+	}
+	s := stats.Snapshot()
+	if s["transport_negotiate_timeouts"] == 0 {
+		t.Errorf("negotiate timeout not counted: %v", s)
+	}
+	if s["codec_fallback"] == 0 {
+		t.Errorf("per-stream fallback not counted: %v", s)
+	}
+}
+
 // startSink runs a v2-capable receiver: it acks the wire preamble and
 // decodes frames, or falls through to gob for legacy senders. Every
 // decoded envelope signals received; inbound bytes accumulate in nbytes

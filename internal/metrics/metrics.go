@@ -46,7 +46,6 @@ func (h *Histogram) Mean() float64 {
 	return sum / float64(len(h.samples))
 }
 
-// Max returns the largest sample (0 when empty).
 // Sum returns the total of all samples (0 when empty).
 func (h *Histogram) Sum() float64 {
 	var s float64
@@ -56,6 +55,7 @@ func (h *Histogram) Sum() float64 {
 	return s
 }
 
+// Max returns the largest sample (0 when empty).
 func (h *Histogram) Max() float64 {
 	var max float64
 	for i, v := range h.samples {

@@ -14,9 +14,14 @@ import (
 // accepted version back as a one-byte ack, and decodes v2 frames from
 // then on. Absent the preamble the receiver falls straight through to
 // gob, so old senders keep working unchanged. An old RECEIVER never
-// acks — its gob decoder chokes on the preamble and closes the stream —
-// which the sender reads as "speak gob": it redials and uses the
-// fallback codec (counted as codec_fallback, sticky per peer).
+// acks: it either closes the stream on the preamble — which the sender
+// reads as proof, redialing and speaking gob to that peer from then
+// on — or blocks mid-message (the genuine pre-v2 decoder treats 'P' as
+// a gob length prefix and waits), which surfaces as an ack timeout.
+// The timeout is ambiguous with a transiently stalled v2 peer, so it
+// downgrades only the one stream and the sender re-probes v2 on its
+// next connect, going sticky after a streak of timeouts. Every
+// downgrade is counted as codec_fallback.
 
 // preamble opens every v2 stream.
 var preamble = [5]byte{'P', '2', 'P', 'W', Version}
