@@ -62,6 +62,13 @@ func printStats(node *livenet.Node) {
 		fmt.Printf(" %s=%d", k, s[k])
 	}
 	fmt.Println()
+	if alive, suspect := node.MembershipCounts(); alive > 0 {
+		line := fmt.Sprintf("membership: %d alive, %d suspect", alive, suspect)
+		if f := node.Fairness(); f >= 0 {
+			line += fmt.Sprintf("; measured fairness %.3f", float64(f)/1000)
+		}
+		fmt.Println(line)
+	}
 	if lat := node.QueryLatency(); lat.Count() > 0 {
 		fmt.Printf("query latency (ms): %s\n", lat.PercentileSummary())
 	}
@@ -179,6 +186,8 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "loadgen: how long to generate load")
 	qtimeout := flag.Duration("qtimeout", 5*time.Second, "loadgen: per-query deadline")
 	repeat := flag.Float64("repeat", 0.3, "loadgen: probability of re-issuing a recent query (temporal locality)")
+	adaptEvery := flag.Duration("adapt-interval", 0, "online rebalancing epoch length (0 = adaptation off)")
+	fairThresh := flag.Float64("fairness-threshold", 0.83, "fairness index below which the chosen leader rebalances")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
@@ -200,10 +209,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
 	}
-	defer node.Close()
+	// Leave (not just Close) on the way out: peers evict this node
+	// immediately instead of waiting out a suspicion timeout.
+	defer node.Leave()
 	if err := node.SetCacheCapacity(cache.LRU, *cacheMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
+	}
+	if *adaptEvery > 0 {
+		node.EnableAdaptation(livenet.AdaptConfig{
+			Interval:     *adaptEvery,
+			LowThreshold: *fairThresh,
+		})
+		fmt.Printf("adaptation on: %v epochs, rebalance below fairness %.2f\n",
+			*adaptEvery, *fairThresh)
 	}
 	fmt.Printf("node %d listening on %s (knows %d peers)\n",
 		node.ID(), node.Addr(), node.KnownPeers())

@@ -1,0 +1,591 @@
+package livenet
+
+// Online adaptation: the §6.1 dynamics ported from the simulated overlay
+// to the live network. Time is divided into wall-clock epochs (all
+// processes of a deployment share the machine clock, or clocks close
+// enough for multi-second epochs). Within each epoch:
+//
+//	step 0 (epoch start)  every node reports its per-category hit counts
+//	                      and unit mass to the leader of each cluster it
+//	                      belongs to, then resets its counters — each
+//	                      report is one epoch's measurement;
+//	step 1 (half epoch)   each leader folds the reports into its
+//	                      cluster's load and shares the aggregate with
+//	                      the other clusters' leaders;
+//	step 2 (3/4 epoch)    the chosen leader — the leader of the cluster
+//	                      with the highest measured normalized
+//	                      popularity — computes Jain's fairness index
+//	                      over the heard loads and, below the low
+//	                      threshold, runs MaxFair_Reassign on the
+//	                      measured state and announces the category
+//	                      moves.
+//
+// Leader election is deterministic rather than gossiped: node
+// capabilities (Units) are part of the shared deterministic model, so
+// the leader of a cluster is simply its most capable LIVE member (ties
+// to the lowest id), computed locally by everyone against the failure
+// detector's view. Nodes whose liveness views briefly disagree send
+// reports to different believed leaders; mis-routed reports are dropped
+// and the next epoch converges.
+//
+// Category moves carry a move counter (§6.1.2 conflict resolution: the
+// higher counter wins) and propagate both by direct announcement to the
+// affected clusters and by epidemic metadata gossip. Members of the
+// receiving cluster re-run the intra-cluster placement policy for the
+// moved category (replica.PlaceCategory) and store their deterministic
+// share, so the category is servable at its new home without a
+// coordinator.
+
+import (
+	"sort"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/core"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/model"
+	"p2pshare/internal/overlay"
+	"p2pshare/internal/replica"
+	"p2pshare/internal/wire"
+)
+
+// AdaptConfig tunes the live adaptation loop. Zero fields take the
+// defaults (the simulated overlay's thresholds, a 3s epoch).
+type AdaptConfig struct {
+	// Interval is the epoch length (the paper's "periodically, e.g.,
+	// every day", compressed for testability).
+	Interval time.Duration
+	// LowThreshold triggers rebalancing when the measured fairness
+	// index falls below it.
+	LowThreshold float64
+	// TargetFairness is the reassignment's stopping criterion.
+	TargetFairness float64
+	// MaxMoves bounds category moves per epoch.
+	MaxMoves int
+}
+
+func (c AdaptConfig) withDefaults() AdaptConfig {
+	if c.Interval <= 0 {
+		c.Interval = 3 * time.Second
+	}
+	if c.LowThreshold <= 0 {
+		c.LowThreshold = 0.83
+	}
+	if c.TargetFairness <= 0 {
+		c.TargetFairness = 0.92
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 16
+	}
+	return c
+}
+
+// adaptState is the adaptation layer's event-loop-owned state.
+type adaptState struct {
+	cfg AdaptConfig
+	// members is the deterministic cluster membership snapshot taken at
+	// enable time (identical in every process of the deployment, since
+	// it derives from the shared model and initial assignment); mine
+	// lists the clusters this node belongs to.
+	members map[model.ClusterID][]model.NodeID
+	mine    []model.ClusterID
+	// epoch/step track progress through the current wall-clock epoch.
+	epoch uint64
+	step  int
+	// agg accumulates member reports at a leader; loads holds the
+	// finalized per-cluster aggregates this leader has heard.
+	agg   map[model.ClusterID]*clusterLoad
+	loads map[model.ClusterID]*clusterLoad
+}
+
+// clusterLoad is one cluster's measured load for one epoch.
+type clusterLoad struct {
+	epoch uint64
+	hits  map[catalog.CategoryID]int64
+	units map[catalog.CategoryID]float64
+}
+
+// normPop is the cluster's measured normalized popularity (hits per
+// unit of serving capacity). A cluster with hits but no measured units
+// reports the largest load, mirroring the overlay's convention.
+func (cl *clusterLoad) normPop() float64 {
+	var hits int64
+	var units float64
+	for _, h := range cl.hits {
+		hits += h
+	}
+	for _, u := range cl.units {
+		units += u
+	}
+	if units == 0 {
+		if hits == 0 {
+			return 0
+		}
+		return 1e18 // effectively infinite, but finite for Jain
+	}
+	return float64(hits) / units
+}
+
+// EnableAdaptation turns on the adaptation loop. Idempotent; safe any
+// time after the node's loops are running. Works best with membership
+// enabled (leader election then excludes dead nodes); without it, every
+// static cluster member is considered electable.
+func (n *Node) EnableAdaptation(cfg AdaptConfig) {
+	enabled := make(chan struct{})
+	select {
+	case n.cmds <- func(n *Node) {
+		n.enableAdaptation(cfg)
+		close(enabled)
+	}:
+		select {
+		case <-enabled:
+		case <-n.done:
+		}
+	case <-n.done:
+	}
+}
+
+// EnableAdaptation turns on adaptation on every node of a launched
+// cluster.
+func (c *Cluster) EnableAdaptation(cfg AdaptConfig) {
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.EnableAdaptation(cfg)
+		}
+	}
+}
+
+// enableAdaptation builds the membership snapshot and starts the epoch
+// clock. Runs in the event loop.
+func (n *Node) enableAdaptation(cfg AdaptConfig) {
+	if n.adapt != nil {
+		return
+	}
+	cfg = cfg.withDefaults()
+	assign := make([]model.ClusterID, len(n.inst.Catalog.Cats))
+	for i := range assign {
+		assign[i] = model.NoCluster
+	}
+	for cat, e := range n.dcrt {
+		if int(cat) < len(assign) {
+			assign[cat] = e.Cluster
+		}
+	}
+	mem, err := model.NewMembership(n.inst, assign)
+	if err != nil {
+		n.stats.Add("adapt_enable_errors", 1)
+		return
+	}
+	members := make(map[model.ClusterID][]model.NodeID, n.inst.NumClusters)
+	var mine []model.ClusterID
+	for c := 0; c < n.inst.NumClusters; c++ {
+		cl := model.ClusterID(c)
+		ms := append([]model.NodeID(nil), mem.NodesOf(cl)...)
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		members[cl] = ms
+		if containsNode(ms, n.id) {
+			mine = append(mine, cl)
+		}
+	}
+	n.adapt = &adaptState{
+		cfg:     cfg,
+		members: members,
+		mine:    mine,
+		agg:     make(map[model.ClusterID]*clusterLoad),
+		loads:   make(map[model.ClusterID]*clusterLoad),
+	}
+	tick := cfg.Interval / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	n.wg.Add(1)
+	go n.adaptLoop(tick)
+}
+
+// adaptLoop funnels epoch-clock ticks into the event loop (membership's
+// probe loop also ticks the adaptation layer; both paths are idempotent
+// per step, so double ticking is harmless).
+func (n *Node) adaptLoop(interval time.Duration) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			select {
+			case n.cmds <- func(n *Node) { n.adaptTick(time.Now()) }:
+			case <-n.done:
+				return
+			}
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// adaptTick advances the epoch state machine. Runs in the event loop.
+func (n *Node) adaptTick(now time.Time) {
+	ad := n.adapt
+	if ad == nil {
+		return
+	}
+	e := uint64(now.UnixNano()) / uint64(ad.cfg.Interval)
+	if e != ad.epoch {
+		ad.epoch = e
+		ad.step = 0
+	}
+	frac := time.Duration(now.UnixNano()) % ad.cfg.Interval
+	switch {
+	case ad.step == 0:
+		n.adaptReport(e)
+		ad.step = 1
+	case ad.step == 1 && frac >= ad.cfg.Interval/2:
+		n.adaptAggregate(e)
+		ad.step = 2
+	case ad.step == 2 && frac >= 3*ad.cfg.Interval/4:
+		n.adaptEvaluate(e)
+		ad.step = 3
+	}
+}
+
+// leaderOf returns the cluster's leader under the current liveness
+// view: the most capable live member, ties to the lowest id. With no
+// detector every static member is electable; with one, only members the
+// detector considers usable (self included).
+func (n *Node) leaderOf(cl model.ClusterID) (model.NodeID, bool) {
+	best := model.NodeID(-1)
+	var bestU float64
+	for _, id := range n.adapt.members[cl] {
+		if id != n.id && n.det != nil && !n.det.IsLive(id) {
+			continue
+		}
+		u := n.inst.Nodes[id].Units
+		if best == -1 || u > bestU || (u == bestU && id < best) {
+			best, bestU = id, u
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// adaptReport is step 0: report this node's epoch measurement to each
+// of its clusters' leaders, then reset the hit counters.
+func (n *Node) adaptReport(e uint64) {
+	ad := n.adapt
+	for _, cl := range ad.mine {
+		hits, units := n.ownLoad(cl)
+		leader, ok := n.leaderOf(cl)
+		if !ok {
+			continue
+		}
+		if leader == n.id {
+			ad.mergeReport(cl, e, hits, units)
+			continue
+		}
+		if len(hits) == 0 && len(units) == 0 {
+			continue
+		}
+		n.send(leader, wire.LeaderLoad{Epoch: e, Cluster: cl, Hits: hits, Units: units})
+	}
+	if len(n.hits) > 0 {
+		n.hits = make(map[catalog.CategoryID]int64)
+	}
+}
+
+// ownLoad snapshots this node's measurement for one of its clusters:
+// hit counts of the categories currently routed there, and its
+// per-category unit mass u_k·p(D_s(k))/p(D(k)) (§4.3.3) over its
+// stored documents.
+func (n *Node) ownLoad(cl model.ClusterID) (map[catalog.CategoryID]int64, map[catalog.CategoryID]float64) {
+	hits := make(map[catalog.CategoryID]int64)
+	for c, h := range n.hits {
+		if h > 0 && n.dcrt[c].Cluster == cl {
+			hits[c] = h
+		}
+	}
+	units := make(map[catalog.CategoryID]float64)
+	var pDk float64
+	for d := range n.dt {
+		pDk += n.inst.Catalog.Doc(d).Popularity
+	}
+	if pDk > 0 {
+		u := n.inst.Nodes[n.id].Units
+		for cat, docs := range n.byCat {
+			if n.dcrt[cat].Cluster != cl || len(docs) == 0 {
+				continue
+			}
+			var sum float64
+			for _, d := range docs {
+				sum += n.inst.Catalog.Doc(d).Popularity
+			}
+			units[cat] = u * sum / pDk
+		}
+	}
+	return hits, units
+}
+
+// mergeReport folds one member report into a leader's aggregation
+// state; a report from a newer epoch resets the accumulator.
+func (ad *adaptState) mergeReport(cl model.ClusterID, e uint64, hits map[catalog.CategoryID]int64, units map[catalog.CategoryID]float64) {
+	st := ad.agg[cl]
+	if st == nil || st.epoch != e {
+		st = &clusterLoad{
+			epoch: e,
+			hits:  make(map[catalog.CategoryID]int64),
+			units: make(map[catalog.CategoryID]float64),
+		}
+		ad.agg[cl] = st
+	}
+	for c, h := range hits {
+		st.hits[c] += h
+	}
+	for c, u := range units {
+		st.units[c] += u
+	}
+}
+
+// adaptAggregate is step 1 at each leader: finalize the cluster's load
+// and share it with every other cluster's leader.
+func (n *Node) adaptAggregate(e uint64) {
+	ad := n.adapt
+	for _, cl := range ad.mine {
+		if leader, ok := n.leaderOf(cl); !ok || leader != n.id {
+			continue
+		}
+		st := ad.agg[cl]
+		if st == nil || st.epoch != e {
+			st = &clusterLoad{
+				epoch: e,
+				hits:  make(map[catalog.CategoryID]int64),
+				units: make(map[catalog.CategoryID]float64),
+			}
+		}
+		ad.loads[cl] = st
+		msg := wire.LeaderLoad{Epoch: e, Cluster: cl, Aggregated: true, Hits: st.hits, Units: st.units}
+		for c := 0; c < n.inst.NumClusters; c++ {
+			target := model.ClusterID(c)
+			if target == cl {
+				continue
+			}
+			if l, ok := n.leaderOf(target); ok && l != n.id {
+				n.send(l, msg)
+			}
+		}
+	}
+}
+
+// handleLeaderLoad processes both kinds of load message: a member
+// report (accepted only by the believed leader of the reporting
+// cluster) and a leader-to-leader aggregate.
+func (n *Node) handleLeaderLoad(from model.NodeID, m wire.LeaderLoad) {
+	_ = from
+	ad := n.adapt
+	if ad == nil {
+		n.stats.Add("adapt_dropped_loads", 1)
+		return
+	}
+	if m.Aggregated {
+		if have, ok := ad.loads[m.Cluster]; !ok || m.Epoch > have.epoch {
+			ad.loads[m.Cluster] = &clusterLoad{epoch: m.Epoch, hits: m.Hits, units: m.Units}
+		}
+		return
+	}
+	if leader, ok := n.leaderOf(m.Cluster); !ok || leader != n.id {
+		// Liveness views briefly disagree on the leader; drop and let
+		// the next epoch converge.
+		n.stats.Add("adapt_dropped_loads", 1)
+		return
+	}
+	ad.mergeReport(m.Cluster, m.Epoch, m.Hits, m.Units)
+}
+
+// adaptEvaluate is steps 2–4 at the chosen leader: fairness over the
+// heard loads, then — below the low threshold — MaxFair_Reassign on the
+// measured state and move announcements.
+func (n *Node) adaptEvaluate(e uint64) {
+	ad := n.adapt
+	loadClusters := make([]model.ClusterID, 0, len(ad.loads))
+	for cl, load := range ad.loads {
+		if load.epoch == e {
+			loadClusters = append(loadClusters, cl)
+		}
+	}
+	if len(loadClusters) == 0 {
+		return
+	}
+	sort.Slice(loadClusters, func(i, j int) bool { return loadClusters[i] < loadClusters[j] })
+	xs := make([]float64, len(loadClusters))
+	for i, cl := range loadClusters {
+		xs[i] = ad.loads[cl].normPop()
+	}
+	measured := fairness.Jain(xs)
+	n.gauges.Set("fairness_x1000", int64(measured*1000))
+	n.stats.Add("adapt_evaluations", 1)
+
+	// The chosen leader is the leader of the hottest measured cluster
+	// (ties to the lowest cluster id) — a deterministic choice every
+	// leader that heard the same loads agrees on.
+	hottest := loadClusters[0]
+	for _, cl := range loadClusters[1:] {
+		if ad.loads[cl].normPop() > ad.loads[hottest].normPop() {
+			hottest = cl
+		}
+	}
+	if l, ok := n.leaderOf(hottest); !ok || l != n.id {
+		return
+	}
+	if measured >= ad.cfg.LowThreshold {
+		return // above the low threshold, nothing to do
+	}
+	if len(loadClusters) < (n.inst.NumClusters+1)/2 {
+		return // heard from under half the clusters; not enough signal
+	}
+	var totalHits int64
+	for _, cl := range loadClusters {
+		for _, h := range ad.loads[cl].hits {
+			totalHits += h
+		}
+	}
+	if totalHits == 0 {
+		return
+	}
+
+	// Rebuild the ICLB state from measurements, over the heard clusters
+	// remapped to compact ids.
+	toCompact := make(map[model.ClusterID]model.ClusterID, len(loadClusters))
+	for i, cl := range loadClusters {
+		toCompact[cl] = model.ClusterID(i)
+	}
+	nCats := len(n.inst.Catalog.Cats)
+	catPop := make([]float64, nCats)
+	catUnits := make([]float64, nCats)
+	assign := make([]model.ClusterID, nCats)
+	for c := range assign {
+		assign[c] = model.NoCluster
+	}
+	for _, cl := range loadClusters {
+		load := ad.loads[cl]
+		for c, h := range load.hits {
+			catPop[c] += float64(h) / float64(totalHits)
+			assign[c] = toCompact[cl]
+		}
+		for c, u := range load.units {
+			catUnits[c] += u
+			assign[c] = toCompact[cl]
+		}
+	}
+	st, err := core.NewStateFromMeasurements(len(loadClusters), catPop, catUnits, assign)
+	if err != nil {
+		n.stats.Add("adapt_state_errors", 1)
+		return
+	}
+	moves, err := core.MaxFairReassign(st, core.ReassignOptions{
+		TargetFairness: ad.cfg.TargetFairness,
+		MaxMoves:       ad.cfg.MaxMoves,
+	})
+	if err != nil {
+		n.stats.Add("adapt_state_errors", 1)
+		return
+	}
+	for _, mv := range moves {
+		from, to := loadClusters[mv.From], loadClusters[mv.To]
+		entry := overlay.DCRTEntry{Cluster: to, MoveCounter: n.dcrt[mv.Category].MoveCounter + 1}
+		n.stats.Add("adapt_moves", 1)
+		n.applyMoveEntry(mv.Category, entry)
+		// Direct announcement to both affected clusters (steps 1–2 of
+		// the lazy rebalancing protocol); gossip covers everyone else.
+		announce := wire.Move{Category: mv.Category, From: from, Entry: entry}
+		seen := map[model.NodeID]bool{n.id: true}
+		for _, cl := range []model.ClusterID{from, to} {
+			for _, id := range ad.members[cl] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if _, known := n.book[id]; known {
+					n.send(id, announce)
+				}
+			}
+		}
+	}
+}
+
+// handleMove applies a direct category-move announcement.
+func (n *Node) handleMove(m wire.Move) {
+	n.applyMoveEntry(m.Category, m.Entry)
+}
+
+// handleMetaUpdate merges epidemically propagated DCRT entries, keeping
+// the highest move counter per category (§6.1.2 conflict resolution).
+func (n *Node) handleMetaUpdate(m overlay.MetadataUpdateMsg) {
+	cats := make([]catalog.CategoryID, 0, len(m.Entries))
+	for cat := range m.Entries {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, cat := range cats {
+		n.applyMoveEntry(cat, m.Entries[cat])
+	}
+}
+
+// applyMoveEntry folds one DCRT entry in under the move-counter rule.
+// On change: members of the receiving cluster re-run the intra-cluster
+// placement for the moved category and store their deterministic share
+// (every member computes the same map, so no coordinator is needed),
+// and the entry is re-gossiped — forwarding only on change keeps the
+// epidemic bounded.
+func (n *Node) applyMoveEntry(cat catalog.CategoryID, e overlay.DCRTEntry) bool {
+	old, known := n.dcrt[cat]
+	if known && e.MoveCounter <= old.MoveCounter {
+		return false
+	}
+	n.dcrt[cat] = e
+	n.stats.Add("dcrt_moves", 1)
+	if ad := n.adapt; ad != nil {
+		if ms := ad.members[e.Cluster]; containsNode(ms, n.id) {
+			share := replica.PlaceCategory(n.inst, cat, ms, replica.DefaultConfig())
+			for _, d := range share[n.id] {
+				n.storeDoc(d)
+			}
+		}
+	}
+	n.gossipEntry(cat, e)
+	return true
+}
+
+// gossipEntry pushes one changed DCRT entry to a few random addressable
+// peers (lazy rebalancing step 5).
+func (n *Node) gossipEntry(cat catalog.CategoryID, e overlay.DCRTEntry) {
+	peers := make([]model.NodeID, 0, len(n.book))
+	for id := range n.book {
+		if id != n.id {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	update := overlay.MetadataUpdateMsg{Entries: map[catalog.CategoryID]overlay.DCRTEntry{cat: e}}
+	for i := 0; i < 3; i++ {
+		n.send(peers[n.rng.Intn(len(peers))], update)
+	}
+}
+
+// containsNode reports membership of id in a sorted member list.
+func containsNode(ms []model.NodeID, id model.NodeID) bool {
+	i := sort.Search(len(ms), func(i int) bool { return ms[i] >= id })
+	return i < len(ms) && ms[i] == id
+}
+
+// Fairness returns the node's last measured fairness index in
+// thousandths (the fairness_x1000 gauge), or -1 when this node has not
+// evaluated an epoch (only leaders do).
+func (n *Node) Fairness() int64 {
+	if v, ok := n.gauges.Snapshot()["fairness_x1000"]; ok {
+		return v
+	}
+	return -1
+}

@@ -214,10 +214,28 @@ func (n *Node) startQuery(cat catalog.CategoryID, m int, ch chan query.Result, d
 // before forwarding, so a reduced demand would degenerate the flood and
 // could strand the query one hop in.
 func (n *Node) sendQuery(pq *pendingQuery) {
+	if len(pq.entry) == 0 {
+		return // all targets evicted; the sweep refills or expires
+	}
 	target := pq.entry[n.rng.Intn(len(pq.entry))]
 	n.send(target, overlay.QueryMsg{
 		ID: pq.id, Category: pq.cat, Want: pq.want, Origin: n.id, Hops: 1, Entry: true,
 	})
+}
+
+// refillEntry rebuilds a pending query's resend-target list from the
+// current routing tables — the original targets may all have been
+// evicted by membership while the query was in flight.
+func (n *Node) refillEntry(pq *pendingQuery) {
+	entry, ok := n.dcrt[pq.cat]
+	if !ok {
+		return
+	}
+	for _, mb := range n.nrt[entry.Cluster] {
+		if _, known := n.book[mb]; known {
+			pq.entry = append(pq.entry, mb)
+		}
+	}
 }
 
 // abandonQuery releases a cancelled or deadline-expired query's slot and

@@ -3,11 +3,13 @@ package livenet
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/core"
+	"p2pshare/internal/membership"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/replica"
@@ -32,6 +34,17 @@ func init() {
 	// work across versions (pinned by the tests in gob_interop_test.go).
 	gob.RegisterName("p2pshare/internal/livenet.helloMsg", helloMsg{})
 	gob.RegisterName("p2pshare/internal/livenet.bookMsg", bookMsg{})
+	// Generation-3 messages (membership + adaptation). Names are pinned
+	// for the same reason: two generation-3 binaries that negotiated down
+	// to gob (e.g. across a future version bump) must keep agreeing on
+	// these, independent of any package reshuffling.
+	gob.RegisterName("p2pshare/internal/membership.Ping", membership.Ping{})
+	gob.RegisterName("p2pshare/internal/membership.Ack", membership.Ack{})
+	gob.RegisterName("p2pshare/internal/membership.PingReq", membership.PingReq{})
+	gob.RegisterName("p2pshare/internal/membership.Leave", membership.Leave{})
+	gob.RegisterName("p2pshare/internal/wire.LeaderLoad", wire.LeaderLoad{})
+	gob.RegisterName("p2pshare/internal/wire.Move", wire.Move{})
+	gob.RegisterName("p2pshare/internal/overlay.MetadataUpdateMsg", overlay.MetadataUpdateMsg{})
 }
 
 // helloMsg announces a (re)joining node and its listen address; bookMsg
@@ -130,6 +143,11 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*No
 	go n.acceptLoop()
 	go n.eventLoop()
 
+	// Standalone deployments face real churn, so the failure detector is
+	// on by default (Launch-style in-process clusters opt in with
+	// Cluster.StartMembership).
+	n.StartMembership(membership.Config{})
+
 	if bootstrapAddr != "" {
 		if err := n.announce(bootstrapAddr); err != nil {
 			n.Close()
@@ -147,10 +165,14 @@ func (n *Node) Close() {
 }
 
 // announce sends a hello to the bootstrap address directly (it is not in
-// the book yet) and waits for the book to arrive. The hello is re-sent a
-// few times while waiting: the bootstrap's reply can be lost into a
-// stale stream it still holds toward our pre-restart incarnation, and
-// only its next send (after the reconnect) gets through.
+// the book yet) and waits for the book to arrive. The initial dial is
+// retried under the transport's capped backoff+jitter — a bootstrap
+// that is briefly down at startup (restarting, racing this process's
+// launch) must not permanently fail the join. The hello is also re-sent
+// a few times while waiting for the book: the bootstrap's reply can be
+// lost into a stale stream it still holds toward our pre-restart
+// incarnation, and only its next send (after the reconnect) gets
+// through.
 func (n *Node) announce(bootstrapAddr string) error {
 	hello := func() error {
 		conn, err := net.DialTimeout("tcp", bootstrapAddr, 3*time.Second)
@@ -165,8 +187,22 @@ func (n *Node) announce(bootstrapAddr string) error {
 		}
 		return nil
 	}
-	if err := hello(); err != nil {
-		return err
+	// A local rng: n.rng is owned by the event loop, which is already
+	// running.
+	rng := rand.New(rand.NewSource(int64(n.id)*2654435761 + 17))
+	const dialAttempts = 6
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = hello(); err == nil {
+			break
+		}
+		if attempt >= dialAttempts {
+			return err
+		}
+		n.stats.Add("announce_retries", 1)
+		if !n.tr.backoff(rng, attempt) {
+			return ErrClosed // node shut down while waiting
+		}
 	}
 	// The book arrives asynchronously; poll briefly so the caller can
 	// query immediately after joining, re-announcing between polls.
@@ -214,11 +250,22 @@ func (n *Node) handleHello(m helloMsg) {
 		}
 	}
 	n.book[m.ID] = m.Addr
+	if n.det != nil {
+		// A hello is firsthand liveness evidence: it resurrects even a
+		// tombstoned peer (the node really is back), with an incarnation
+		// past the tombstone so the comeback out-gossips the death.
+		n.det.Rejoin(m.ID, m.Addr, time.Now())
+		n.drainMembership()
+	}
 	book := make(map[model.NodeID]string, len(n.book))
 	for id, addr := range n.book {
 		book[id] = addr
 	}
-	n.send(m.ID, bookMsg{Book: book})
+	reply := bookMsg{Book: book}
+	if n.det != nil {
+		reply.Dead = n.det.Tombstones()
+	}
+	n.send(m.ID, reply)
 	if duplicate {
 		return
 	}
@@ -227,11 +274,33 @@ func (n *Node) handleHello(m helloMsg) {
 	}
 }
 
-// handleBook merges a received address book.
+// handleBook merges a received address book. Merging is secondhand
+// evidence: tombstones ride along (wire.Book.Dead) and are applied
+// first, and entries for peers this node's membership view has
+// confirmed dead are dropped rather than resurrected — only firsthand
+// contact (a hello, a ping) brings a tombstoned peer back.
 func (n *Node) handleBook(m bookMsg) {
-	for id, addr := range m.Book {
-		if id != n.id {
-			n.book[id] = addr
+	now := time.Now()
+	if n.det != nil {
+		for id, inc := range m.Dead {
+			// A tombstone about this node itself is refuted inside the
+			// detector (incarnation bump + alive rumor).
+			n.det.ApplyTombstone(id, inc, now)
 		}
+	}
+	for id, addr := range m.Book {
+		if id == n.id {
+			continue
+		}
+		if n.det != nil {
+			n.det.Observe(id, addr, now)
+			if !n.det.IsLive(id) {
+				continue // confirmed dead; do not resurrect the entry
+			}
+		}
+		n.book[id] = addr
+	}
+	if n.det != nil {
+		n.drainMembership()
 	}
 }

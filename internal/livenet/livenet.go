@@ -36,6 +36,7 @@ import (
 
 	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/membership"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
@@ -161,6 +162,19 @@ type Node struct {
 	seenCur  map[uint64]struct{}
 	seenPrev map[uint64]struct{}
 
+	// det is the SWIM failure detector (membership.go); nil until
+	// StartMembership. gauges holds the point-in-time membership and
+	// fairness readings merged into Stats(). Both owned by the event loop
+	// (gauges is itself concurrency-safe for the Stats() reader).
+	det    *membership.Detector
+	gauges *metrics.SyncGauge
+
+	// hits counts per-category requests entering this node (the §6.1.2
+	// monitoring counter feeding adaptation); adapt is the live
+	// adaptation state (adapt.go), nil until EnableAdaptation.
+	hits  map[catalog.CategoryID]int64
+	adapt *adaptState
+
 	// legacyGob makes the node behave like a pre-v2 peer on inbound
 	// streams: the preamble is never acked, so v2 senders fall back to
 	// gob. Mixed-version testing only.
@@ -198,6 +212,9 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64)
 		inflightMax: DefaultMaxInFlight,
 		docCache:    docCache,
 		cacheByCat:  make(map[catalog.CategoryID][]catalog.DocID),
+
+		gauges: metrics.NewSyncGauge(),
+		hits:   make(map[catalog.CategoryID]int64),
 	}
 	n.tr.onPeerDown = func(peer model.NodeID) {
 		select {
@@ -234,6 +251,9 @@ func (n *Node) Stats() map[string]int64 {
 	s := n.stats.Snapshot()
 	s["queue_depth"] = int64(n.tr.queueDepth())
 	s["queries_inflight"] = n.inflight.Load()
+	for k, v := range n.gauges.Snapshot() {
+		s[k] = v
+	}
 	return s
 }
 
@@ -580,6 +600,15 @@ func (n *Node) sweep(now time.Time) {
 			continue
 		}
 		if pq.received == 0 && pq.resends < maxResends && now.Sub(pq.lastSend) > resendAfter {
+			if len(pq.entry) == 0 {
+				// Every original target was evicted (membership declared
+				// them dead); rebuild the target list from the current
+				// routing tables before giving up.
+				n.refillEntry(pq)
+				if len(pq.entry) == 0 {
+					continue
+				}
+			}
 			pq.resends++
 			pq.lastSend = now
 			n.stats.Add("query_resends", 1)
@@ -612,6 +641,32 @@ func (n *Node) dispatch(env envelope) {
 		n.handleHello(m)
 	case bookMsg:
 		n.handleBook(m)
+	case membership.Ping:
+		if n.det != nil {
+			n.sendPackets(n.det.OnPing(env.From, m, time.Now()))
+			n.drainMembership()
+		}
+	case membership.Ack:
+		if n.det != nil {
+			n.sendPackets(n.det.OnAck(env.From, m, time.Now()))
+			n.drainMembership()
+		}
+	case membership.PingReq:
+		if n.det != nil {
+			n.sendPackets(n.det.OnPingReq(env.From, m, time.Now()))
+			n.drainMembership()
+		}
+	case membership.Leave:
+		if n.det != nil {
+			n.det.OnLeave(m, time.Now())
+			n.drainMembership()
+		}
+	case wire.LeaderLoad:
+		n.handleLeaderLoad(env.From, m)
+	case wire.Move:
+		n.handleMove(m)
+	case overlay.MetadataUpdateMsg:
+		n.handleMetaUpdate(m)
 	}
 }
 
@@ -657,6 +712,11 @@ func (n *Node) handleQuery(m overlay.QueryMsg) {
 	if !ok {
 		n.stats.Add("drop_no_route", 1)
 		return
+	}
+	if m.Entry {
+		// §6.1.2 monitoring: count the request once per cluster entry, so
+		// the adaptation layer measures category demand, not flood width.
+		n.hits[m.Category]++
 	}
 	var matches []catalog.DocID
 	for _, d := range n.byCat[m.Category] {

@@ -256,6 +256,83 @@ func PlaceProportional(inst *model.Instance, assign []model.ClusterID, mem *mode
 	return p, nil
 }
 
+// PlaceCategory re-runs the placement policy for ONE category against an
+// explicit member list — the receiving-cluster side of a live category
+// move (§6.1.2 lazy rebalancing). Every member of the destination
+// cluster can compute the identical map independently (the inputs are
+// all part of the shared deterministic model) and store its own share,
+// so the move needs no placement coordinator. Unlike Place it does not
+// consult storage capacities: the members' current occupancy is not
+// globally known, and one category is a small slice of a cluster's
+// corpus.
+func PlaceCategory(inst *model.Instance, cat catalog.CategoryID, members []model.NodeID, cfg Config) map[model.NodeID][]catalog.DocID {
+	if err := cfg.Validate(); err != nil {
+		cfg = DefaultConfig()
+	}
+	out := make(map[model.NodeID][]catalog.DocID)
+	if len(members) == 0 {
+		return out
+	}
+	ms := append([]model.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+
+	var docs []catalog.DocID
+	var mass float64
+	for di := range inst.Catalog.Docs {
+		d := &inst.Catalog.Docs[di]
+		if len(d.Categories) > 0 && d.Categories[0] == cat {
+			docs = append(docs, catalog.DocID(di))
+			mass += d.Popularity
+		}
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		return inst.Catalog.Docs[docs[i]].Popularity > inst.Catalog.Docs[docs[j]].Popularity
+	})
+
+	load := make(map[model.NodeID]float64, len(ms))
+	give := func(k model.NodeID, di catalog.DocID) {
+		out[k] = append(out[k], di)
+		load[k] += inst.Catalog.Docs[di].Popularity
+	}
+
+	// Hot prefix to every member, like Place's step 2.
+	var cum float64
+	hotCut := 0
+	for hotCut < len(docs) && cum < cfg.HotMass*mass {
+		cum += inst.Catalog.Docs[docs[hotCut]].Popularity
+		hotCut++
+	}
+	for _, di := range docs[:hotCut] {
+		for _, k := range ms {
+			give(k, di)
+		}
+	}
+	// Cold documents: NReps copies each, dealt to the member with the
+	// least popularity accumulated within this placement (ties to the
+	// lowest id via the sorted scan order).
+	for _, di := range docs[hotCut:] {
+		reps := cfg.NReps
+		if reps > len(ms) {
+			reps = len(ms)
+		}
+		taken := make(map[model.NodeID]bool, reps)
+		for r := 0; r < reps; r++ {
+			best := model.NodeID(-1)
+			for _, k := range ms {
+				if taken[k] {
+					continue
+				}
+				if best == -1 || load[k] < load[best] {
+					best = k
+				}
+			}
+			taken[best] = true
+			give(best, di)
+		}
+	}
+	return out
+}
+
 // IntraClusterFairness returns, per cluster, Jain's index over the stored
 // popularity of its member nodes — the quantity the random-target query
 // policy needs near 1 for intra-cluster load balance (§4.3.3).

@@ -1,6 +1,8 @@
-// Package wire implements the livenet v2 wire format: a compact,
-// length-prefixed binary encoding for every envelope the live transport
-// carries (query, result, publish, publish-ack, hello, address book).
+// Package wire implements the livenet binary wire format: a compact,
+// length-prefixed encoding for every envelope the live transport
+// carries (query, result, publish, publish-ack, hello, address book,
+// and — since generation 3 — the membership probes and adaptation
+// messages of the live dynamics layer).
 //
 // Design goals, in order:
 //
@@ -30,17 +32,27 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/membership"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 )
 
 // Version is the codec generation this package speaks. It is carried in
 // the stream preamble and echoed in the receiver's ack; a mismatch (or a
-// receiver that never acks) makes the sender fall back to gob.
-const Version = 2
+// receiver that never acks) makes the sender fall back to gob — which is
+// exactly how a generation-3 node interoperates with a generation-2
+// binary: the old receiver rejects the new preamble, both sides settle
+// on gob, and gob's tolerance for unknown struct fields carries the
+// extended Book (tombstones) across the version gap.
+//
+// Generation 3 adds the membership frames (ping, ack, ping-req, leave),
+// the adaptation frames (leader-load, move, meta-update), and the Dead
+// tombstone section of Book.
+const Version = 3
 
 // MaxFrameBytes bounds one frame's payload. The largest legitimate
 // message is an address book; at ~30 bytes per peer this admits over a
@@ -56,6 +68,13 @@ const (
 	tagPublishAck = 4
 	tagHello      = 5
 	tagBook       = 6
+	tagPing       = 7
+	tagAck        = 8
+	tagPingReq    = 9
+	tagLeave      = 10
+	tagLeaderLoad = 11
+	tagMove       = 12
+	tagMetaUpdate = 13
 )
 
 // Envelope frames every wire message with its sender. Both codecs — v2
@@ -73,9 +92,37 @@ type Hello struct {
 	Addr string
 }
 
-// Book shares the sender's address book.
+// Book shares the sender's address book. Dead carries the sender's
+// membership tombstones (node → last incarnation), so a merge cannot
+// resurrect a peer the network already confirmed dead: the receiver
+// drops tombstoned entries instead of re-adding them.
 type Book struct {
 	Book map[model.NodeID]string
+	Dead map[model.NodeID]uint64
+}
+
+// LeaderLoad reports measured per-category load for one adaptation
+// epoch. Members send it to their cluster leader (Aggregated false);
+// leaders exchange cluster-wide sums with each other (Aggregated true).
+// Hits are per-category request counts; Units is the per-category unit
+// mass u_k·p(D_s(k))/p(D(k)) backing them, so the chosen leader can
+// rebuild the ICLB state from live measurements (§6.1.2).
+type LeaderLoad struct {
+	Epoch      uint64
+	Cluster    model.ClusterID
+	Aggregated bool
+	Hits       map[catalog.CategoryID]int64
+	Units      map[catalog.CategoryID]float64
+}
+
+// Move announces one category reassignment decided by the chosen leader
+// (§6.1.2 phase 4). Entry carries the destination cluster and the bumped
+// move counter; From is the source cluster, so receivers know whether
+// they are shedding or gaining the category.
+type Move struct {
+	Category catalog.CategoryID
+	From     model.ClusterID
+	Entry    overlay.DCRTEntry
 }
 
 func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
@@ -91,6 +138,56 @@ func appendBool(b []byte, v bool) []byte {
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
+}
+
+// appendFloat writes a float64 as 8 fixed big-endian bytes (varints buy
+// nothing for float bit patterns).
+func appendFloat(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendUpdates writes a piggybacked membership rumor list:
+// count (id addr state inc)*.
+func appendUpdates(b []byte, us []membership.Update) []byte {
+	b = appendUint(b, uint64(len(us)))
+	for _, u := range us {
+		b = appendInt(b, int64(u.ID))
+		b = appendString(b, u.Addr)
+		b = append(b, byte(u.State))
+		b = appendUint(b, u.Inc)
+	}
+	return b
+}
+
+// appendCatInts writes a category→int64 map sorted by category, so the
+// encoding is deterministic.
+func appendCatInts(b []byte, m map[catalog.CategoryID]int64) []byte {
+	b = appendUint(b, uint64(len(m)))
+	cats := make([]catalog.CategoryID, 0, len(m))
+	for c := range m {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		b = appendInt(b, int64(c))
+		b = appendInt(b, m[c])
+	}
+	return b
+}
+
+// appendCatFloats writes a category→float64 map sorted by category.
+func appendCatFloats(b []byte, m map[catalog.CategoryID]float64) []byte {
+	b = appendUint(b, uint64(len(m)))
+	cats := make([]catalog.CategoryID, 0, len(m))
+	for c := range m {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		b = appendInt(b, int64(c))
+		b = appendFloat(b, m[c])
+	}
+	return b
 }
 
 // AppendEnvelope appends env's payload — tag, sender, body, no length
@@ -148,8 +245,9 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		b = appendInt(b, int64(m.ID))
 		b = appendString(b, m.Addr)
 	case Book:
-		// book := count (id addr)*   — sorted by id so encoding is
-		// deterministic (map iteration order is not).
+		// book := count (id addr)* deadCount (id inc)*   — both sections
+		// sorted by id so encoding is deterministic (map iteration order
+		// is not).
 		b = append(b, tagBook)
 		b = appendInt(b, int64(env.From))
 		b = appendUint(b, uint64(len(m.Book)))
@@ -161,6 +259,78 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		for _, id := range ids {
 			b = appendInt(b, int64(id))
 			b = appendString(b, m.Book[id])
+		}
+		b = appendUint(b, uint64(len(m.Dead)))
+		dead := make([]model.NodeID, 0, len(m.Dead))
+		for id := range m.Dead {
+			dead = append(dead, id)
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		for _, id := range dead {
+			b = appendInt(b, int64(id))
+			b = appendUint(b, m.Dead[id])
+		}
+	case membership.Ping:
+		// ping := seq addr updates
+		b = append(b, tagPing)
+		b = appendInt(b, int64(env.From))
+		b = appendUint(b, m.Seq)
+		b = appendString(b, m.Addr)
+		b = appendUpdates(b, m.Updates)
+	case membership.Ack:
+		// ack := seq target updates
+		b = append(b, tagAck)
+		b = appendInt(b, int64(env.From))
+		b = appendUint(b, m.Seq)
+		b = appendInt(b, int64(m.Target))
+		b = appendUpdates(b, m.Updates)
+	case membership.PingReq:
+		// ping-req := seq target addr updates
+		b = append(b, tagPingReq)
+		b = appendInt(b, int64(env.From))
+		b = appendUint(b, m.Seq)
+		b = appendInt(b, int64(m.Target))
+		b = appendString(b, m.Addr)
+		b = appendUpdates(b, m.Updates)
+	case membership.Leave:
+		// leave := id inc
+		b = append(b, tagLeave)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.ID))
+		b = appendUint(b, m.Inc)
+	case LeaderLoad:
+		// leader-load := epoch cluster aggregated hits units
+		b = append(b, tagLeaderLoad)
+		b = appendInt(b, int64(env.From))
+		b = appendUint(b, m.Epoch)
+		b = appendInt(b, int64(m.Cluster))
+		b = appendBool(b, m.Aggregated)
+		b = appendCatInts(b, m.Hits)
+		b = appendCatFloats(b, m.Units)
+	case Move:
+		// move := category from cluster moveCounter
+		b = append(b, tagMove)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Category))
+		b = appendInt(b, int64(m.From))
+		b = appendInt(b, int64(m.Entry.Cluster))
+		b = appendUint(b, m.Entry.MoveCounter)
+	case overlay.MetadataUpdateMsg:
+		// meta-update := count (category cluster moveCounter)*   — sorted
+		// by category.
+		b = append(b, tagMetaUpdate)
+		b = appendInt(b, int64(env.From))
+		b = appendUint(b, uint64(len(m.Entries)))
+		cats := make([]catalog.CategoryID, 0, len(m.Entries))
+		for c := range m.Entries {
+			cats = append(cats, c)
+		}
+		sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+		for _, c := range cats {
+			e := m.Entries[c]
+			b = appendInt(b, int64(c))
+			b = appendInt(b, int64(e.Cluster))
+			b = appendUint(b, e.MoveCounter)
 		}
 	default:
 		return b, fmt.Errorf("wire: unencodable message type %T", env.Msg)
@@ -234,6 +404,89 @@ func (d *dec) str(what string) string {
 	s := string(d.b[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s
+}
+
+// float reads 8 fixed big-endian bytes. NaN is rejected: no encoder
+// produces it, and accepting it would make decode→encode→decode
+// non-deterministic (NaN never compares equal to itself).
+func (d *dec) float(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	if math.IsNaN(v) {
+		d.fail(what)
+		return 0
+	}
+	return v
+}
+
+// state reads a membership state byte, rejecting values outside the
+// defined enum.
+func (d *dec) state(what string) membership.State {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	if v > byte(membership.Left) {
+		d.fail(what)
+		return 0
+	}
+	return membership.State(v)
+}
+
+// updates reads a piggybacked membership rumor list.
+func (d *dec) updates(what string) []membership.Update {
+	n := d.count(what)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	us := make([]membership.Update, n)
+	for i := range us {
+		us[i].ID = model.NodeID(d.int("update id"))
+		us[i].Addr = d.str("update addr")
+		us[i].State = d.state("update state")
+		us[i].Inc = d.uint("update incarnation")
+	}
+	return us
+}
+
+// catInts reads a category→int64 map.
+func (d *dec) catInts(what string) map[catalog.CategoryID]int64 {
+	n := d.count(what)
+	if d.err != nil {
+		return nil
+	}
+	m := make(map[catalog.CategoryID]int64, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		c := catalog.CategoryID(d.int("category"))
+		m[c] = d.int("hit count")
+	}
+	return m
+}
+
+// catFloats reads a category→float64 map.
+func (d *dec) catFloats(what string) map[catalog.CategoryID]float64 {
+	n := d.count(what)
+	if d.err != nil {
+		return nil
+	}
+	m := make(map[catalog.CategoryID]float64, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		c := catalog.CategoryID(d.int("category"))
+		m[c] = d.float("unit mass")
+	}
+	return m
 }
 
 // count reads a list length and rejects values that cannot fit in the
@@ -314,6 +567,64 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		for i := 0; i < n && d.err == nil; i++ {
 			id := model.NodeID(d.int("book id"))
 			m.Book[id] = d.str("book addr")
+		}
+		nd := d.count("tombstone count")
+		if nd > 0 {
+			m.Dead = make(map[model.NodeID]uint64, nd)
+			for i := 0; i < nd && d.err == nil; i++ {
+				id := model.NodeID(d.int("tombstone id"))
+				m.Dead[id] = d.uint("tombstone incarnation")
+			}
+		}
+		env.Msg = m
+	case tagPing:
+		var m membership.Ping
+		m.Seq = d.uint("ping seq")
+		m.Addr = d.str("ping addr")
+		m.Updates = d.updates("ping updates")
+		env.Msg = m
+	case tagAck:
+		var m membership.Ack
+		m.Seq = d.uint("ack seq")
+		m.Target = model.NodeID(d.int("ack target"))
+		m.Updates = d.updates("ack updates")
+		env.Msg = m
+	case tagPingReq:
+		var m membership.PingReq
+		m.Seq = d.uint("ping-req seq")
+		m.Target = model.NodeID(d.int("ping-req target"))
+		m.Addr = d.str("ping-req addr")
+		m.Updates = d.updates("ping-req updates")
+		env.Msg = m
+	case tagLeave:
+		var m membership.Leave
+		m.ID = model.NodeID(d.int("leave id"))
+		m.Inc = d.uint("leave incarnation")
+		env.Msg = m
+	case tagLeaderLoad:
+		var m LeaderLoad
+		m.Epoch = d.uint("load epoch")
+		m.Cluster = model.ClusterID(d.int("load cluster"))
+		m.Aggregated = d.bool("aggregated flag")
+		m.Hits = d.catInts("hit map size")
+		m.Units = d.catFloats("unit map size")
+		env.Msg = m
+	case tagMove:
+		var m Move
+		m.Category = catalog.CategoryID(d.int("move category"))
+		m.From = model.ClusterID(d.int("move source"))
+		m.Entry.Cluster = model.ClusterID(d.int("move destination"))
+		m.Entry.MoveCounter = d.uint("move counter")
+		env.Msg = m
+	case tagMetaUpdate:
+		n := d.count("entry count")
+		m := overlay.MetadataUpdateMsg{Entries: make(map[catalog.CategoryID]overlay.DCRTEntry, n)}
+		for i := 0; i < n && d.err == nil; i++ {
+			c := catalog.CategoryID(d.int("entry category"))
+			var e overlay.DCRTEntry
+			e.Cluster = model.ClusterID(d.int("entry cluster"))
+			e.MoveCounter = d.uint("entry move counter")
+			m.Entries[c] = e
 		}
 		env.Msg = m
 	default:

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/membership"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 )
@@ -23,6 +24,13 @@ func init() {
 	gob.Register(overlay.PublishAckMsg{})
 	gob.Register(Hello{})
 	gob.Register(Book{})
+	gob.Register(membership.Ping{})
+	gob.Register(membership.Ack{})
+	gob.Register(membership.PingReq{})
+	gob.Register(membership.Leave{})
+	gob.Register(LeaderLoad{})
+	gob.Register(Move{})
+	gob.Register(overlay.MetadataUpdateMsg{})
 }
 
 // sampleEnvelopes covers every message type, including negative ids
@@ -47,6 +55,36 @@ func sampleEnvelopes() []Envelope {
 			0: "127.0.0.1:7000", 1: "127.0.0.1:7001", 19: "10.0.0.3:9999",
 		}}},
 		{From: 1, Msg: Book{Book: map[model.NodeID]string{}}},
+		{From: 1, Msg: Book{
+			Book: map[model.NodeID]string{0: "127.0.0.1:7000"},
+			Dead: map[model.NodeID]uint64{7: 3, 9: 0},
+		}},
+		{From: 4, Msg: membership.Ping{Seq: 99, Addr: "127.0.0.1:7004", Updates: []membership.Update{
+			{ID: 2, Addr: "127.0.0.1:7002", State: membership.Suspect, Inc: 5},
+			{ID: 8, State: membership.Dead, Inc: 0},
+		}}},
+		{From: 4, Msg: membership.Ping{Seq: 1}},
+		{From: 2, Msg: membership.Ack{Seq: 99, Target: 4, Updates: []membership.Update{
+			{ID: 2, Addr: "127.0.0.1:7002", State: membership.Alive, Inc: 6},
+		}}},
+		{From: 2, Msg: membership.Ack{Seq: 100, Target: 2}},
+		{From: 4, Msg: membership.PingReq{Seq: 7, Target: 3, Addr: "127.0.0.1:7003"}},
+		{From: 6, Msg: membership.Leave{ID: 6, Inc: 4}},
+		{From: 3, Msg: LeaderLoad{
+			Epoch: 12, Cluster: 2, Aggregated: true,
+			Hits:  map[catalog.CategoryID]int64{0: 14, 3: 2},
+			Units: map[catalog.CategoryID]float64{0: 1.5, 3: 0.25},
+		}},
+		{From: 3, Msg: LeaderLoad{Epoch: 1, Cluster: model.NoCluster}},
+		{From: 3, Msg: Move{
+			Category: 5, From: 2,
+			Entry: overlay.DCRTEntry{Cluster: 0, MoveCounter: 3},
+		}},
+		{From: 3, Msg: overlay.MetadataUpdateMsg{Entries: map[catalog.CategoryID]overlay.DCRTEntry{
+			5: {Cluster: 0, MoveCounter: 3},
+			9: {Cluster: 1, MoveCounter: 1},
+		}}},
+		{From: 3, Msg: overlay.MetadataUpdateMsg{}},
 	}
 }
 
@@ -88,15 +126,51 @@ func equivalentMsg(a, b any) bool {
 		p.Members = nil
 		b = p
 	}
-	if bk, ok := a.(Book); ok && len(bk.Book) == 0 {
-		bk.Book = map[model.NodeID]string{}
-		a = bk
-	}
-	if bk, ok := b.(Book); ok && len(bk.Book) == 0 {
-		bk.Book = map[model.NodeID]string{}
-		b = bk
-	}
+	a, b = normalizeMsg(a), normalizeMsg(b)
 	return reflect.DeepEqual(a, b)
+}
+
+// normalizeMsg maps every empty collection to its canonical form.
+func normalizeMsg(m any) any {
+	switch v := m.(type) {
+	case Book:
+		if len(v.Book) == 0 {
+			v.Book = map[model.NodeID]string{}
+		}
+		if len(v.Dead) == 0 {
+			v.Dead = nil
+		}
+		return v
+	case membership.Ping:
+		if len(v.Updates) == 0 {
+			v.Updates = nil
+		}
+		return v
+	case membership.Ack:
+		if len(v.Updates) == 0 {
+			v.Updates = nil
+		}
+		return v
+	case membership.PingReq:
+		if len(v.Updates) == 0 {
+			v.Updates = nil
+		}
+		return v
+	case LeaderLoad:
+		if len(v.Hits) == 0 {
+			v.Hits = nil
+		}
+		if len(v.Units) == 0 {
+			v.Units = nil
+		}
+		return v
+	case overlay.MetadataUpdateMsg:
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
+		return v
+	}
+	return m
 }
 
 func TestDecodeRejectsCorruptFrames(t *testing.T) {
