@@ -362,8 +362,15 @@ func (n *Node) adaptAggregate(e uint64) {
 				units: make(map[catalog.CategoryID]float64),
 			}
 		}
+		// Finalize: the accumulator is retired (a late member report for
+		// this epoch starts a fresh one that is never read) and the wire
+		// message carries deep copies — the transport writers encode the
+		// maps off the event loop, so they must never be the live ones
+		// mergeReport mutates.
+		delete(ad.agg, cl)
 		ad.loads[cl] = st
-		msg := wire.LeaderLoad{Epoch: e, Cluster: cl, Aggregated: true, Hits: st.hits, Units: st.units}
+		msg := wire.LeaderLoad{Epoch: e, Cluster: cl, Aggregated: true,
+			Hits: copyHitMap(st.hits), Units: copyUnitMap(st.units)}
 		for c := 0; c < n.inst.NumClusters; c++ {
 			target := model.ClusterID(c)
 			if target == cl {
@@ -372,6 +379,45 @@ func (n *Node) adaptAggregate(e uint64) {
 			if l, ok := n.leaderOf(target); ok && l != n.id {
 				n.send(l, msg)
 			}
+		}
+	}
+}
+
+// copyHitMap deep-copies a per-category hit map for handoff to the
+// transport writers, which encode off the event loop.
+func copyHitMap(src map[catalog.CategoryID]int64) map[catalog.CategoryID]int64 {
+	out := make(map[catalog.CategoryID]int64, len(src))
+	for c, h := range src {
+		out[c] = h
+	}
+	return out
+}
+
+// copyUnitMap deep-copies a per-category unit-mass map (see copyHitMap).
+func copyUnitMap(src map[catalog.CategoryID]float64) map[catalog.CategoryID]float64 {
+	out := make(map[catalog.CategoryID]float64, len(src))
+	for c, u := range src {
+		out[c] = u
+	}
+	return out
+}
+
+// sanitizeLoad strips category ids outside the local catalog from a
+// remote load message: adaptEvaluate indexes catalog-sized slices with
+// these ids, so a corrupt frame or a peer with a different catalog
+// shape must fail safe here rather than panic the event loop.
+func (n *Node) sanitizeLoad(m *wire.LeaderLoad) {
+	nCats := catalog.CategoryID(len(n.inst.Catalog.Cats))
+	for c := range m.Hits {
+		if c < 0 || c >= nCats {
+			delete(m.Hits, c)
+			n.stats.Add("adapt_bad_categories", 1)
+		}
+	}
+	for c := range m.Units {
+		if c < 0 || c >= nCats {
+			delete(m.Units, c)
+			n.stats.Add("adapt_bad_categories", 1)
 		}
 	}
 }
@@ -386,6 +432,11 @@ func (n *Node) handleLeaderLoad(from model.NodeID, m wire.LeaderLoad) {
 		n.stats.Add("adapt_dropped_loads", 1)
 		return
 	}
+	if m.Cluster < 0 || int(m.Cluster) >= n.inst.NumClusters {
+		n.stats.Add("adapt_dropped_loads", 1)
+		return
+	}
+	n.sanitizeLoad(&m)
 	if m.Aggregated {
 		if have, ok := ad.loads[m.Cluster]; !ok || m.Epoch > have.epoch {
 			ad.loads[m.Cluster] = &clusterLoad{epoch: m.Epoch, hits: m.Hits, units: m.Units}
@@ -530,6 +581,13 @@ func (n *Node) handleMetaUpdate(m overlay.MetadataUpdateMsg) {
 	}
 }
 
+// maxMoveCounterJump bounds how far ahead of the local view a gossiped
+// move counter may be. Counters advance by one per executed move, so a
+// legitimate gap is at most the moves this node missed; a counter near
+// max-uint64 from a corrupt or hostile frame would otherwise wedge the
+// category forever (no legitimate move could ever exceed it again).
+const maxMoveCounterJump = 1 << 20
+
 // applyMoveEntry folds one DCRT entry in under the move-counter rule.
 // On change: members of the receiving cluster re-run the intra-cluster
 // placement for the moved category and store their deterministic share
@@ -537,8 +595,19 @@ func (n *Node) handleMetaUpdate(m overlay.MetadataUpdateMsg) {
 // and the entry is re-gossiped — forwarding only on change keeps the
 // epidemic bounded.
 func (n *Node) applyMoveEntry(cat catalog.CategoryID, e overlay.DCRTEntry) bool {
+	if cat < 0 || int(cat) >= len(n.inst.Catalog.Cats) ||
+		e.Cluster < 0 || int(e.Cluster) >= n.inst.NumClusters {
+		n.stats.Add("adapt_bad_moves", 1)
+		return false
+	}
 	old, known := n.dcrt[cat]
 	if known && e.MoveCounter <= old.MoveCounter {
+		return false
+	}
+	if e.MoveCounter > old.MoveCounter+maxMoveCounterJump {
+		// old is the zero value for an unknown category, bounding a
+		// first-contact entry to the same window.
+		n.stats.Add("adapt_bad_moves", 1)
 		return false
 	}
 	n.dcrt[cat] = e

@@ -823,6 +823,15 @@ func (n *Node) handlePublish(from model.NodeID, m overlay.PublishMsg) {
 }
 
 func (n *Node) handlePublishAck(m overlay.PublishAckMsg) {
+	// Same validation as applyMoveEntry: a corrupt or hostile ack must
+	// not plant an out-of-range category/cluster or an unbeatable move
+	// counter in the routing tables.
+	if m.Category < 0 || int(m.Category) >= len(n.inst.Catalog.Cats) ||
+		m.Entry.Cluster < 0 || int(m.Entry.Cluster) >= n.inst.NumClusters ||
+		m.Entry.MoveCounter > n.dcrt[m.Category].MoveCounter+maxMoveCounterJump {
+		n.stats.Add("adapt_bad_moves", 1)
+		return
+	}
 	if old, ok := n.dcrt[m.Category]; !ok || m.Entry.MoveCounter > old.MoveCounter {
 		n.dcrt[m.Category] = m.Entry
 	}

@@ -146,6 +146,12 @@ type Config struct {
 	IndirectProbes int
 	// MaxPiggyback caps the updates attached to one protocol message.
 	MaxPiggyback int
+	// TombstoneTTL is how long a dead/left member's tombstone is kept
+	// before it is forgotten entirely. It only needs to outlive the
+	// death rumor's propagation and stale address-book replays; without
+	// a TTL a long-running node accumulates one tombstone per departed
+	// peer forever and ships them all in every book reply.
+	TombstoneTTL time.Duration
 }
 
 // DefaultConfig returns the detector's default timing: ~0.9s to
@@ -159,6 +165,7 @@ func DefaultConfig() Config {
 		SuspectTimeout: 2500 * time.Millisecond,
 		IndirectProbes: 2,
 		MaxPiggyback:   8,
+		TombstoneTTL:   60 * time.Second,
 	}
 }
 
@@ -182,6 +189,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPiggyback <= 0 {
 		c.MaxPiggyback = d.MaxPiggyback
+	}
+	if c.TombstoneTTL <= 0 {
+		// Scale with the (possibly test-shrunk) suspect timeout, but
+		// never below a comfortable multiple of rumor-propagation time.
+		c.TombstoneTTL = 24 * c.SuspectTimeout
 	}
 	return c
 }
@@ -235,6 +247,10 @@ type Detector struct {
 	// tombStates distinguishes a crash (Dead) from a graceful departure
 	// (Left) when reporting evicted members; absent means Dead.
 	tombStates map[model.NodeID]State
+	// tombSince timestamps each tombstone so Tick can age it out after
+	// TombstoneTTL, keeping the map (and Book frames) bounded under
+	// sustained churn.
+	tombSince map[model.NodeID]time.Time
 
 	// rotation is the SWIM probe order: a shuffled pass over the
 	// members, reshuffled when exhausted, so every member is probed once
@@ -262,6 +278,7 @@ func New(self model.NodeID, addr string, cfg Config, seed int64) *Detector {
 		members:    make(map[model.NodeID]*Member),
 		tombs:      make(map[model.NodeID]uint64),
 		tombStates: make(map[model.NodeID]State),
+		tombSince:  make(map[model.NodeID]time.Time),
 		probes:     make(map[uint64]*probe),
 		relays:     make(map[uint64]*relay),
 		updates:    make(map[model.NodeID]*queued),
@@ -306,6 +323,7 @@ func (d *Detector) Rejoin(id model.NodeID, addr string, now time.Time) {
 		inc = ti + 1
 		delete(d.tombs, id)
 		delete(d.tombStates, id)
+		delete(d.tombSince, id)
 	}
 	m, ok := d.members[id]
 	switch {
@@ -460,6 +478,18 @@ func (d *Detector) Tick(now time.Time) []Packet {
 		}
 	}
 
+	// Age out old tombstones. A tombstone only has to outlive the death
+	// rumor's propagation and the replay window of stale address books;
+	// past the TTL the departed peer is forgotten entirely, so the map
+	// (and every Book frame carrying it) stays bounded under churn.
+	for id, at := range d.tombSince {
+		if now.Sub(at) >= d.cfg.TombstoneTTL {
+			delete(d.tombs, id)
+			delete(d.tombStates, id)
+			delete(d.tombSince, id)
+		}
+	}
+
 	// Start the next probe round.
 	if now.Sub(d.lastProbe) >= d.cfg.ProbeInterval {
 		if target, ok := d.nextTarget(); ok {
@@ -572,6 +602,7 @@ func (d *Detector) apply(u Update, now time.Time) {
 				// Resurrection rumor newer than the tombstone.
 				delete(d.tombs, u.ID)
 				delete(d.tombStates, u.ID)
+				delete(d.tombSince, u.ID)
 				m = &Member{ID: u.ID, Addr: u.Addr, State: Alive, Inc: u.Inc, stateSince: now}
 				d.members[u.ID] = m
 				d.events = append(d.events, Event{ID: u.ID, Addr: u.Addr, State: Alive, Inc: u.Inc})
@@ -583,6 +614,7 @@ func (d *Detector) apply(u Update, now time.Time) {
 			// Never met it; remember only the tombstone.
 			d.tombs[u.ID] = u.Inc
 			d.tombStates[u.ID] = u.State
+			d.tombSince[u.ID] = now
 			d.queueUpdate(u)
 			return
 		}
@@ -633,6 +665,7 @@ func (d *Detector) setState(m *Member, s State, inc uint64, now time.Time) {
 	if s == Dead || s == Left {
 		d.tombs[m.ID] = inc
 		d.tombStates[m.ID] = s
+		d.tombSince[m.ID] = now
 		delete(d.members, m.ID)
 	}
 }

@@ -26,6 +26,7 @@ func newNet(t *testing.T, n int) *net {
 		SuspectTimeout: 50 * time.Millisecond,
 		IndirectProbes: 2,
 		MaxPiggyback:   8,
+		TombstoneTTL:   400 * time.Millisecond,
 	}
 	w := &net{
 		t: t, cfg: cfg,
@@ -217,6 +218,49 @@ func TestTombstoneBlocksObserveButNotRejoin(t *testing.T) {
 	}
 	if m.Addr != "10.0.0.2:9" {
 		t.Fatalf("Rejoin kept stale addr: %+v", m)
+	}
+}
+
+func TestTombstonesAgeOut(t *testing.T) {
+	w := newNet(t, 4)
+	for i := 0; i < 8; i++ {
+		w.step()
+	}
+	victim := model.NodeID(3)
+	w.down[victim] = true
+	rounds := 4 + int((w.cfg.ProbeTimeout+w.cfg.SuspectTimeout)/w.cfg.ProbeInterval) + 12
+	for i := 0; i < rounds; i++ {
+		w.step()
+	}
+	for id, d := range w.ds {
+		if id == victim {
+			continue
+		}
+		if _, ok := d.Tombstones()[victim]; !ok {
+			t.Fatalf("node %d: no tombstone for the dead victim", id)
+		}
+	}
+	// Step past the TTL: the tombstone (and the member record it backs)
+	// must be forgotten, so a long-running node does not grow one entry
+	// per departed peer forever.
+	ttlRounds := int(w.cfg.TombstoneTTL/w.cfg.ProbeInterval) + 10
+	for i := 0; i < ttlRounds; i++ {
+		w.step()
+	}
+	for id, d := range w.ds {
+		if id == victim {
+			continue
+		}
+		if ts := d.Tombstones(); len(ts) != 0 {
+			t.Errorf("node %d: tombstones %v survived the TTL", id, ts)
+		}
+		if m, ok := d.Member(victim); ok {
+			t.Errorf("node %d: departed member still reported: %+v", id, m)
+		}
+		alive, suspect := d.Counts()
+		if alive != 3 || suspect != 0 {
+			t.Errorf("node %d: alive=%d suspect=%d after aging, want 3/0", id, alive, suspect)
+		}
 	}
 }
 
