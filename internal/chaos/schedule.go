@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// A Schedule is a declarative fault script: named steps applied to the
+// Net at fixed offsets from scenario start. Together with the seed it
+// IS the scenario — replaying the same schedule with the same seed
+// reproduces the same fault pattern.
+type Step struct {
+	At   time.Duration
+	Name string
+	Do   func(*Net)
+}
+
+type Schedule struct {
+	steps []Step
+}
+
+// NewSchedule builds an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// AddStep appends a step (chainable).
+func (s *Schedule) AddStep(at time.Duration, name string, do func(*Net)) *Schedule {
+	s.steps = append(s.steps, Step{At: at, Name: name, Do: do})
+	return s
+}
+
+// Len reports how many steps the schedule holds.
+func (s *Schedule) Len() int { return len(s.steps) }
+
+// String lists the steps (for logs and failure reports).
+func (s *Schedule) String() string {
+	out := ""
+	for i, st := range s.sorted() {
+		if i > 0 {
+			out += "; "
+		}
+		out += fmt.Sprintf("t=%v %s", st.At, st.Name)
+	}
+	return out
+}
+
+func (s *Schedule) sorted() []Step {
+	steps := append([]Step(nil), s.steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	return steps
+}
+
+// Run applies the steps in offset order against the controller,
+// blocking between them; it returns early if done closes. logf (may be
+// nil) narrates each step as it fires.
+func (s *Schedule) Run(done <-chan struct{}, n *Net, logf func(format string, args ...any)) {
+	start := time.Now()
+	for _, st := range s.sorted() {
+		wait := st.At - time.Since(start)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+		st.Do(n)
+		if logf != nil {
+			logf("chaos t=%v: %s", st.At, st.Name)
+		}
+	}
+}

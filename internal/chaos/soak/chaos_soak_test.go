@@ -1,0 +1,91 @@
+package soak
+
+import (
+	"testing"
+
+	"p2pshare/internal/model"
+)
+
+// Each soak scenario is a self-contained integration test: boot a live
+// loopback cluster behind the chaos layer, run the scripted fault
+// timeline under background query load with continuous invariant
+// sweeps, heal, and require recovery. A failure message carries the
+// seed; replaying it reproduces the same fault pattern.
+
+func runScenario(t *testing.T, name string, seed int64) Report {
+	t.Helper()
+	sc, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: seed, Nodes: 10, Clusters: 2, Docs: 300, Cats: 8}
+	if testing.Verbose() {
+		cfg.Out = testWriter{t}
+	}
+	rep, err := RunScenario(sc, cfg)
+	if err != nil {
+		t.Fatalf("%v\nall violations: %v", err, rep.Violations)
+	}
+	return rep
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func TestSoakPartitionAdapt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario")
+	}
+	runScenario(t, "partition-adapt", 101)
+}
+
+func TestSoakLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario")
+	}
+	rep := runScenario(t, "leader-kill", 202)
+	if rep.ProbeOK == 0 {
+		t.Fatal("no probe query succeeded after the leader was killed")
+	}
+}
+
+func TestSoakCorruptStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario")
+	}
+	runScenario(t, "corrupt-storm", 303)
+}
+
+func TestSoakFlappy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario")
+	}
+	runScenario(t, "flappy", 404)
+}
+
+// TestLeaderOfTargetsMostCapable pins the scenario library's leader
+// mirror to livenet's election rule (most units, ties to lowest id) so
+// leader-kill keeps killing the actual leader if either side changes.
+func TestLeaderOfTargetsMostCapable(t *testing.T) {
+	r := &Run{
+		Inst: &model.Instance{Nodes: []model.Node{
+			{ID: 0, Units: 2}, {ID: 1, Units: 5}, {ID: 2, Units: 5}, {ID: 3, Units: 1},
+		}},
+		Assign: []model.ClusterID{0, 0, 0, 1},
+		dead:   map[model.NodeID]bool{},
+	}
+	if got := r.LeaderOf(0); got != 1 {
+		t.Fatalf("LeaderOf(0) = %d, want 1 (most capable, lowest id)", got)
+	}
+	r.dead[1] = true
+	if got := r.LeaderOf(0); got != 2 {
+		t.Fatalf("LeaderOf(0) with 1 dead = %d, want 2", got)
+	}
+	if got := r.LeaderOf(1); got != 3 {
+		t.Fatalf("LeaderOf(1) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,127 @@
+package soak
+
+import (
+	"fmt"
+	"time"
+
+	"p2pshare/internal/chaos"
+	"p2pshare/internal/model"
+)
+
+// The built-in scenario library: the four fault shapes the ISSUE's
+// harness runs against livenet. Each is short enough for CI smoke
+// (seconds of timeline plus settle) yet long enough to cross several
+// sweep intervals, membership probe rounds, and — where enabled —
+// adaptation epochs.
+
+// PartitionAdapt partitions the cluster down the middle while the
+// adaptation loop is mid-epoch, holds the split across an epoch
+// boundary, then heals. Leaders must not wedge aggregating loads from
+// unreachable members, and fairness measurement must resume after heal.
+func PartitionAdapt() Scenario {
+	var a, b []model.NodeID
+	return Scenario{
+		Name:   "partition-adapt",
+		Desc:   "asymmetric partition held across an adaptation epoch, then healed",
+		Length: 5 * time.Second,
+		Adapt:  true,
+		Actions: []Action{
+			{At: 1200 * time.Millisecond, Name: "partition halves", Do: func(r *Run) {
+				a, b = r.Halves()
+				r.Net.Partition(a, b)
+			}},
+			{At: 3800 * time.Millisecond, Name: "heal partition", Do: func(r *Run) {
+				r.Net.Heal()
+			}},
+		},
+	}
+}
+
+// LeaderKill kills the deterministic leader of node-cluster 0 right
+// around an epoch boundary, while its members are sending LeaderLoad
+// reports. The cluster must elect the next-most-capable member and
+// queries must keep flowing; the dead node's tombstone must not leak.
+func LeaderKill() Scenario {
+	return Scenario{
+		Name:   "leader-kill",
+		Desc:   "kill the cluster-0 leader mid-aggregate; election must move on",
+		Length: 5 * time.Second,
+		Adapt:  true,
+		Actions: []Action{
+			{At: 1400 * time.Millisecond, Name: "kill cluster-0 leader", Do: func(r *Run) {
+				if leader := r.LeaderOf(0); leader >= 0 {
+					r.Kill(leader)
+				}
+			}},
+		},
+	}
+}
+
+// CorruptStorm poisons a fraction of every frame on every link for a
+// window: the codec must reject the frames and reconnect rather than
+// deliver garbage, and once the storm passes service must recover with
+// no stuck queries left behind.
+func CorruptStorm() Scenario {
+	return Scenario{
+		Name:   "corrupt-storm",
+		Desc:   "byte-corrupt 30% of all writes for 2.5s, then clear",
+		Length: 4500 * time.Millisecond,
+		Actions: []Action{
+			{At: 800 * time.Millisecond, Name: "begin corrupt storm", Do: func(r *Run) {
+				r.Net.SetDefault(chaos.Faults{Corrupt: 0.3})
+			}},
+			{At: 3300 * time.Millisecond, Name: "end corrupt storm", Do: func(r *Run) {
+				r.Net.Clear()
+			}},
+		},
+	}
+}
+
+// Flappy flaps the same partition open and closed every 700ms on top of
+// a lossy baseline — the reconnect/backoff path must absorb the flaps
+// without unbounded state or a wedged writer.
+func Flappy() Scenario {
+	sc := Scenario{
+		Name:   "flappy",
+		Desc:   "partition flapping every 700ms over a 5% lossy baseline",
+		Length: 5 * time.Second,
+		Actions: []Action{
+			{At: 400 * time.Millisecond, Name: "lossy baseline", Do: func(r *Run) {
+				r.Net.SetDefault(chaos.Faults{Drop: 0.05})
+			}},
+		},
+	}
+	cut := true
+	for at := 700 * time.Millisecond; at < 4200*time.Millisecond; at += 700 * time.Millisecond {
+		doCut := cut
+		name := "flap: heal"
+		if doCut {
+			name = "flap: cut"
+		}
+		sc.Actions = append(sc.Actions, Action{At: at, Name: name, Do: func(r *Run) {
+			if doCut {
+				a, b := r.Halves()
+				r.Net.Partition(a, b)
+			} else {
+				r.Net.Heal()
+			}
+		}})
+		cut = !cut
+	}
+	return sc
+}
+
+// Scenarios returns the built-in library in a stable order.
+func Scenarios() []Scenario {
+	return []Scenario{PartitionAdapt(), LeaderKill(), CorruptStorm(), Flappy()}
+}
+
+// Lookup finds a built-in scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("unknown scenario %q", name)
+}

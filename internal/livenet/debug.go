@@ -1,0 +1,89 @@
+package livenet
+
+import (
+	"net"
+	"time"
+)
+
+// Introspection and injection seams for the chaos harness
+// (internal/chaos, cmd/p2pchaos): a replaceable dialer, and snapshot
+// accessors for the bounded-table invariants the soak runner checks
+// between fault injections.
+
+// SetDialer replaces the node's outbound dial function — the injection
+// point for fault middleware and tests. Streams already established
+// keep their connection; new dials (including reconnects) go through
+// the replacement. Safe to call at any time.
+func (n *Node) SetDialer(dial func(addr string) (net.Conn, error)) {
+	n.tr.setDial(dial)
+}
+
+// TableSizes snapshots, through the event loop, the sizes of every
+// state table that must stay bounded on a long-lived node: the pending
+// query table, address book, NRT entries (across clusters), seen-set
+// generations, membership tombstones, and the requester-cache category
+// index. The soak runner asserts bounds on these under churn and
+// partitions; a blocked call (the event loop wedged) is itself an
+// invariant violation the caller detects by timeout.
+func (n *Node) TableSizes() map[string]int {
+	ch := make(chan map[string]int, 1)
+	select {
+	case n.cmds <- func(n *Node) {
+		sizes := map[string]int{
+			"pending": len(n.pending),
+			"book":    len(n.book),
+			"seen":    len(n.seenCur) + len(n.seenPrev),
+		}
+		nrt := 0
+		for _, members := range n.nrt {
+			nrt += len(members)
+		}
+		sizes["nrt"] = nrt
+		cached := 0
+		for _, docs := range n.cacheByCat {
+			cached += len(docs)
+		}
+		sizes["cache_index"] = cached
+		if n.det != nil {
+			sizes["tombstones"] = len(n.det.Tombstones())
+		}
+		ch <- sizes
+	}:
+		select {
+		case s := <-ch:
+			return s
+		case <-n.done:
+			return nil
+		}
+	case <-n.done:
+		return nil
+	}
+}
+
+// OverduePending counts pending queries that outlived their deadline by
+// more than slack — entries the sweep should have reaped. Anything
+// non-zero means a query slot leaked past its expiry (a stuck query),
+// one of the chaos harness's core invariants.
+func (n *Node) OverduePending(slack time.Duration) int {
+	ch := make(chan int, 1)
+	select {
+	case n.cmds <- func(n *Node) {
+		now := time.Now()
+		overdue := 0
+		for _, pq := range n.pending {
+			if now.After(pq.deadline.Add(slack)) {
+				overdue++
+			}
+		}
+		ch <- overdue
+	}:
+		select {
+		case v := <-ch:
+			return v
+		case <-n.done:
+			return 0
+		}
+	case <-n.done:
+		return 0
+	}
+}

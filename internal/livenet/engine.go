@@ -187,7 +187,7 @@ func (n *Node) startQuery(cat catalog.CategoryID, m int, ch chan query.Result, d
 		return 0, nil, ErrNoRoute
 	}
 	n.nextQuery++
-	id := n.nextQuery<<16 | uint64(n.id)&0xffff
+	id := queryID(n.querySalt, n.nextQuery)
 	now := time.Now()
 	pq := &pendingQuery{
 		id:       id,
@@ -208,6 +208,33 @@ func (n *Node) startQuery(cat catalog.CategoryID, m int, ch chan query.Result, d
 	return id, nil, nil
 }
 
+// queryID builds a globally unique query id from the node's 64-bit salt
+// and its per-node sequence number. The pre-fix scheme kept only the low
+// 16 bits of the node id (`nextQuery<<16 | id&0xffff`), so two nodes
+// whose ids agree mod 65536 minted IDENTICAL ids at the same sequence
+// point — and the flood-dedup `seen` set then suppressed one node's
+// query as a duplicate of the other's. Mixing the full node id through a
+// bijective 64-bit finalizer makes same-node ids distinct by
+// construction (mixQ is a bijection over the sequence) and cross-node
+// collisions need a full 64-bit match (~2^-64 per pair) instead of a
+// low-16-bit one.
+func queryID(salt, seq uint64) uint64 {
+	return mixQ(salt ^ mixQ(seq))
+}
+
+// querySaltFor derives a node's id-mixing salt from its full node id.
+func querySaltFor(id model.NodeID) uint64 {
+	return mixQ(uint64(id)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909)
+}
+
+// mixQ is the splitmix64 finalizer (bijective over uint64).
+func mixQ(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // sendQuery (re)issues the query to a random reachable member of the
 // serving cluster. The full demand goes out even when the cache primed a
 // partial answer: intermediate nodes subtract their own matches from Want
@@ -225,14 +252,25 @@ func (n *Node) sendQuery(pq *pendingQuery) {
 
 // refillEntry rebuilds a pending query's resend-target list from the
 // current routing tables — the original targets may all have been
-// evicted by membership while the query was in flight.
+// evicted by membership while the query was in flight. Targets already
+// in the list are not re-added: a blind append would insert duplicates
+// on every sweep pass, growing the slice without bound and biasing the
+// uniform resend pick toward whichever members were appended most often.
 func (n *Node) refillEntry(pq *pendingQuery) {
 	entry, ok := n.dcrt[pq.cat]
 	if !ok {
 		return
 	}
+	have := make(map[model.NodeID]struct{}, len(pq.entry))
+	for _, m := range pq.entry {
+		have[m] = struct{}{}
+	}
 	for _, mb := range n.nrt[entry.Cluster] {
+		if _, dup := have[mb]; dup {
+			continue
+		}
 		if _, known := n.book[mb]; known {
+			have[mb] = struct{}{}
 			pq.entry = append(pq.entry, mb)
 		}
 	}
@@ -298,25 +336,41 @@ func (n *Node) finishPending(pq *pendingQuery, done bool) {
 }
 
 // cachedIn returns up to max currently-cached documents of a category,
-// pruning evicted ids from the per-category index as it goes.
+// pruning evicted and duplicate ids from the per-category index as it
+// goes (a doc evicted and re-cached can appear twice in one list; the
+// dedup keeps the index and the returned set consistent).
 func (n *Node) cachedIn(cat catalog.CategoryID, max int) []catalog.DocID {
 	list := n.cacheByCat[cat]
 	live := list[:0]
+	seen := make(map[catalog.DocID]struct{}, len(list))
 	var out []catalog.DocID
 	for _, d := range list {
+		if _, dup := seen[d]; dup {
+			continue // duplicate index entry; prune
+		}
 		if !n.docCache.Peek(d) {
 			continue // evicted; prune
 		}
+		seen[d] = struct{}{}
 		live = append(live, d)
 		if len(out) < max {
 			out = append(out, d)
 		}
 	}
+	if len(live) == 0 && list != nil {
+		delete(n.cacheByCat, cat)
+		return out
+	}
 	n.cacheByCat[cat] = live
 	return out
 }
 
-// cacheDocs inserts received result documents into the requester cache.
+// cacheDocs inserts received result documents into the requester cache,
+// indexing each under EVERY category it belongs to. Indexing only under
+// Categories[0] (the pre-fix behavior) made repeat queries in a
+// multi-category doc's other categories permanent cache misses — the
+// doc was resident but invisible to cachedIn. Stale index entries left
+// by eviction are pruned by cachedIn on the next read of each list.
 func (n *Node) cacheDocs(docs map[catalog.DocID]bool) {
 	if n.docCache == nil {
 		return
@@ -328,8 +382,9 @@ func (n *Node) cacheDocs(docs map[catalog.DocID]bool) {
 		}
 		n.docCache.Insert(d, doc.Size)
 		if n.docCache.Peek(d) {
-			cat := doc.Categories[0]
-			n.cacheByCat[cat] = append(n.cacheByCat[cat], d)
+			for _, cat := range doc.Categories {
+				n.cacheByCat[cat] = append(n.cacheByCat[cat], d)
+			}
 		}
 	}
 }

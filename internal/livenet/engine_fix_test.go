@@ -1,0 +1,206 @@
+package livenet
+
+import (
+	"testing"
+
+	"p2pshare/internal/cache"
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/model"
+	"p2pshare/internal/overlay"
+)
+
+// Regression tests for the bug crop the chaos harness surfaced: query-id
+// collisions across nodes, refillEntry duplicating resend targets, and
+// the requester cache indexing multi-category documents under only
+// their first category.
+
+// TestQueryIDNoCollisionAcrossNodes pins the id-collision fix. The
+// pre-fix scheme (`nextQuery<<16 | id&0xffff`) minted identical ids on
+// any two nodes whose ids agree mod 65536 — node 1 and node 65537
+// collided at every sequence number, so the flood-dedup `seen` set on
+// intermediate nodes silently suppressed one of the two queries. The
+// fixed scheme must keep ids distinct across such node pairs and across
+// sequence numbers on one node.
+func TestQueryIDNoCollisionAcrossNodes(t *testing.T) {
+	pairs := [][2]model.NodeID{
+		{1, 1 + 1<<16},         // agree mod 2^16 — the reported collision
+		{0, 1 << 16},           // zero vs 65536
+		{12345, 12345 + 3<<16}, // agree mod 2^16, larger ids
+		{7, 7 + (1 << 20)},     // agree mod 2^20
+	}
+	for _, pr := range pairs {
+		saltA, saltB := querySaltFor(pr[0]), querySaltFor(pr[1])
+		if saltA == saltB {
+			t.Fatalf("nodes %d and %d derived the same salt", pr[0], pr[1])
+		}
+		for seq := uint64(1); seq <= 2000; seq++ {
+			if queryID(saltA, seq) == queryID(saltB, seq) {
+				t.Fatalf("nodes %d and %d mint the same query id at seq %d",
+					pr[0], pr[1], seq)
+			}
+		}
+	}
+	// Same node, distinct sequences: ids never repeat (mixQ is bijective,
+	// but pin it — a regression here re-opens the seen-set suppression).
+	seen := make(map[uint64]struct{}, 5000)
+	salt := querySaltFor(9)
+	for seq := uint64(1); seq <= 5000; seq++ {
+		id := queryID(salt, seq)
+		if _, dup := seen[id]; dup {
+			t.Fatalf("node 9 repeated query id %#x at seq %d", id, seq)
+		}
+		seen[id] = struct{}{}
+	}
+}
+
+// TestRefillEntryDeduplicates pins the refill fix: sweeping a pending
+// query must not append targets already in its entry list, and repeated
+// refills must not grow the list.
+func TestRefillEntryDeduplicates(t *testing.T) {
+	n := &Node{
+		dcrt: map[catalog.CategoryID]overlay.DCRTEntry{
+			3: {Cluster: 1},
+		},
+		nrt: map[model.ClusterID][]model.NodeID{
+			1: {2, 3, 4},
+		},
+		book: map[model.NodeID]string{
+			2: "a", 3: "b", 4: "c",
+		},
+	}
+	pq := &pendingQuery{cat: 3, entry: []model.NodeID{2}}
+
+	n.refillEntry(pq)
+	want := map[model.NodeID]int{2: 1, 3: 1, 4: 1}
+	got := map[model.NodeID]int{}
+	for _, m := range pq.entry {
+		got[m]++
+	}
+	if len(pq.entry) != 3 {
+		t.Fatalf("after refill entry = %v, want exactly {2,3,4}", pq.entry)
+	}
+	for id, c := range want {
+		if got[id] != c {
+			t.Fatalf("after refill entry = %v: target %d appears %d times, want %d",
+				pq.entry, id, got[id], c)
+		}
+	}
+
+	// A second sweep pass over a still-pending query must be a no-op,
+	// not another append of the full NRT list.
+	n.refillEntry(pq)
+	n.refillEntry(pq)
+	if len(pq.entry) != 3 {
+		t.Fatalf("repeated refills grew entry to %v (len %d), want stable 3",
+			pq.entry, len(pq.entry))
+	}
+
+	// Unaddressable members (not in the book) stay out.
+	n.nrt[1] = append(n.nrt[1], 9)
+	n.refillEntry(pq)
+	for _, m := range pq.entry {
+		if m == 9 {
+			t.Fatal("refill added a target with no address-book entry")
+		}
+	}
+}
+
+// multiCatInstance generates a model whose catalog is guaranteed to
+// contain two-category documents.
+func multiCatInstance(t *testing.T) (*model.Instance, *catalog.Document) {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Catalog.NumDocs = 200
+	cfg.Catalog.NumCats = 10
+	cfg.Catalog.MultiCatFraction = 1.0
+	cfg.NumNodes = 4
+	cfg.NumClusters = 2
+	cfg.Seed = 77
+	inst, err := model.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inst.Catalog.Docs {
+		if len(inst.Catalog.Docs[i].Categories) >= 2 {
+			return inst, &inst.Catalog.Docs[i]
+		}
+	}
+	t.Fatal("no multi-category document generated")
+	return nil, nil
+}
+
+// TestCacheDocsIndexesAllCategories pins the cache-index fix: a cached
+// multi-category document must be found by cachedIn under EVERY one of
+// its categories, not only Categories[0] — the pre-fix behavior made
+// repeat queries in the doc's other categories permanent cache misses.
+func TestCacheDocsIndexesAllCategories(t *testing.T) {
+	inst, doc := multiCatInstance(t)
+	dc, err := cache.New(cache.LRU, 10*doc.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &Node{
+		inst:       inst,
+		docCache:   dc,
+		cacheByCat: make(map[catalog.CategoryID][]catalog.DocID),
+	}
+
+	n.cacheDocs(map[catalog.DocID]bool{doc.ID: true})
+	for _, cat := range doc.Categories {
+		got := n.cachedIn(cat, 1)
+		if len(got) != 1 || got[0] != doc.ID {
+			t.Errorf("cached doc %d invisible under its category %d (got %v)",
+				doc.ID, cat, got)
+		}
+	}
+
+	// Consistent pruning: evict the doc by flooding the cache, then
+	// every category's index must drop it on the next read.
+	for i := range inst.Catalog.Docs {
+		d := &inst.Catalog.Docs[i]
+		if d.ID != doc.ID {
+			n.cacheDocs(map[catalog.DocID]bool{d.ID: true})
+		}
+	}
+	if n.docCache.Peek(doc.ID) {
+		t.Skip("flooding did not evict the doc; cache larger than expected")
+	}
+	for _, cat := range doc.Categories {
+		for _, d := range n.cachedIn(cat, 100) {
+			if d == doc.ID {
+				t.Errorf("evicted doc %d still served from category %d index", doc.ID, cat)
+			}
+		}
+		for _, d := range n.cacheByCat[cat] {
+			if d == doc.ID {
+				t.Errorf("evicted doc %d not pruned from category %d index", doc.ID, cat)
+			}
+		}
+	}
+}
+
+// TestCachedInDropsDuplicateIndexEntries pins the dedup half of the
+// pruning fix: a doc listed twice in one category index (evict + re-add
+// histories) is returned once and the index collapses to one entry.
+func TestCachedInDropsDuplicateIndexEntries(t *testing.T) {
+	inst, doc := multiCatInstance(t)
+	dc, err := cache.New(cache.LRU, 10*doc.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := doc.Categories[0]
+	n := &Node{
+		inst:     inst,
+		docCache: dc,
+		cacheByCat: map[catalog.CategoryID][]catalog.DocID{
+			cat: {doc.ID, doc.ID, doc.ID},
+		},
+	}
+	dc.Insert(doc.ID, doc.Size)
+	if got := n.cachedIn(cat, 10); len(got) != 1 || got[0] != doc.ID {
+		t.Fatalf("cachedIn over a duplicated index returned %v, want [%d]", got, doc.ID)
+	}
+	if idx := n.cacheByCat[cat]; len(idx) != 1 {
+		t.Fatalf("index not collapsed after read: %v", idx)
+	}
+}

@@ -180,7 +180,10 @@ type Node struct {
 	// gob. Mixed-version testing only.
 	legacyGob atomic.Bool
 
+	// nextQuery and querySalt mint query ids: a per-node sequence mixed
+	// with a full-width node discriminant (see queryID in engine.go).
 	nextQuery uint64
+	querySalt uint64
 }
 
 // newNode builds a Node with empty peer state, its own private address
@@ -213,8 +216,9 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64)
 		docCache:    docCache,
 		cacheByCat:  make(map[catalog.CategoryID][]catalog.DocID),
 
-		gauges: metrics.NewSyncGauge(),
-		hits:   make(map[catalog.CategoryID]int64),
+		gauges:    metrics.NewSyncGauge(),
+		hits:      make(map[catalog.CategoryID]int64),
+		querySalt: querySaltFor(id),
 	}
 	n.tr.onPeerDown = func(peer model.NodeID) {
 		select {
@@ -285,11 +289,30 @@ func (c *Cluster) Stats() map[string]int64 {
 	return total
 }
 
+// NetHooks injects the network layer under a cluster — the seam the
+// chaos harness (internal/chaos) plugs into. Either hook may be nil:
+// Listen defaults to a plain loopback TCP listener, and a nil Dial
+// leaves the transport's default dialer in place.
+type NetHooks struct {
+	// Listen opens one node's listener. Called once per node before any
+	// loop starts, so a fault layer can register the address first.
+	Listen func(id model.NodeID, addr string) (net.Listener, error)
+	// Dial replaces every node's outbound dialer, keyed by the dialing
+	// node — per-link fault injection hangs off this.
+	Dial func(from model.NodeID, addr string) (net.Conn, error)
+}
+
 // Launch starts one TCP peer per instance node on loopback ports, primes
 // metadata exactly like the simulated overlay's bootstrap (full DCRT,
 // ring-plus-chords NRT per cluster, remote contacts), and returns the
 // running cluster. Close it when done.
 func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64) (*Cluster, error) {
+	return LaunchWithHooks(inst, assign, place, seed, NetHooks{})
+}
+
+// LaunchWithHooks is Launch with an injectable network layer (fault
+// middleware, alternative listeners). Production callers use Launch.
+func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks) (*Cluster, error) {
 	if len(assign) != len(inst.Catalog.Cats) {
 		return nil, fmt.Errorf("livenet: assignment covers %d of %d categories",
 			len(assign), len(inst.Catalog.Cats))
@@ -298,17 +321,27 @@ func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Place
 	if err != nil {
 		return nil, err
 	}
+	listen := hooks.Listen
+	if listen == nil {
+		listen = func(_ model.NodeID, addr string) (net.Listener, error) {
+			return net.Listen("tcp", addr)
+		}
+	}
 	rng := rand.New(rand.NewSource(seed))
 	c := &Cluster{inst: inst}
 	book := make(map[model.NodeID]string, len(inst.Nodes))
 
 	for k := range inst.Nodes {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := listen(inst.Nodes[k].ID, "127.0.0.1:0")
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("livenet: listen: %w", err)
 		}
 		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k))
+		if hooks.Dial != nil {
+			from := n.id
+			n.tr.setDial(func(addr string) (net.Conn, error) { return hooks.Dial(from, addr) })
+		}
 		book[n.id] = ln.Addr().String()
 		c.Nodes = append(c.Nodes, n)
 	}

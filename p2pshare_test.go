@@ -84,7 +84,7 @@ func TestQueryErrors(t *testing.T) {
 // errors re-exported at the root match livenet's with errors.Is.
 func TestUnifiedResultTypeAndErrors(t *testing.T) {
 	var r p2pshare.QueryResult
-	var _ query.Result = r     // compile-time: facade result is the shared type
+	var _ query.Result = r         // compile-time: facade result is the shared type
 	var _ livenet.QueryOutcome = r // compile-time: live outcome is the same type
 	if !errors.Is(livenet.ErrTimeout, p2pshare.ErrTimeout) ||
 		!errors.Is(livenet.ErrNoRoute, p2pshare.ErrNoRoute) ||
