@@ -1,0 +1,177 @@
+// Command benchengine measures one node's query throughput and latency
+// against a live loopback cluster at several engine shard counts and
+// writes the result as machine-readable JSON — the artifact CI's
+// bench-smoke job archives so engine regressions show up as numbers,
+// not vibes.
+//
+//	go run ./cmd/benchengine -out BENCH_engine.json
+//	go run ./cmd/benchengine -queries 2000 -workers 16 -shards 1,8
+//
+// The requester cache is disabled so every query runs the full engine +
+// transport path; throughput is therefore a property of the sharded
+// engine, not the cache.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pshare/internal/cache"
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/livenet"
+)
+
+// run is one shard count's measurement.
+type run struct {
+	Shards     int     `json:"shards"`
+	Queries    int     `json:"queries"`
+	Errors     int     `json:"errors"`
+	Seconds    float64 `json:"seconds"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// report is the whole artifact: environment, then one run per shard
+// count so dashboards can plot scaling.
+type report struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	Seed       int64  `json:"seed"`
+	Workers    int    `json:"workers"`
+	Runs       []run  `json:"runs"`
+}
+
+func bench(shards, queries, workers int, seed int64) (run, error) {
+	sh := livenet.Shape{Documents: 400, Categories: 12, Nodes: 24, Clusters: 4, Seed: seed}
+	inst, assign, place, err := sh.Build()
+	if err != nil {
+		return run{}, err
+	}
+	c, err := livenet.LaunchWithOptions(inst, assign, place, seed, livenet.NetHooks{},
+		livenet.Options{Shards: shards})
+	if err != nil {
+		return run{}, err
+	}
+	defer c.Close()
+	n := c.Nodes[0]
+	if err := n.SetCacheCapacity(cache.LRU, 0); err != nil {
+		return run{}, err
+	}
+
+	// The busiest category keeps every query satisfiable with want=1.
+	var cat catalog.CategoryID
+	best := -1
+	for i := range inst.Catalog.Cats {
+		if d := len(inst.Catalog.Cats[i].Docs); d > best {
+			cat, best = inst.Catalog.Cats[i].ID, d
+		}
+	}
+
+	// Warm the peer streams so the measurement excludes connection setup.
+	if _, err := n.Query(cat, 1, 5*time.Second); err != nil {
+		return run{}, fmt.Errorf("warmup query: %w", err)
+	}
+
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(queries) {
+				if _, err := n.Query(cat, 1, 5*time.Second); err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	h := n.QueryLatency()
+	return run{
+		Shards:     shards,
+		Queries:    queries,
+		Errors:     int(errs.Load()),
+		Seconds:    elapsed,
+		MsgsPerSec: float64(queries) / elapsed,
+		P50Ms:      h.Quantile(0.50),
+		P95Ms:      h.Quantile(0.95),
+		P99Ms:      h.Quantile(0.99),
+	}, nil
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_engine.json", "output path (- = stdout)")
+		queries = flag.Int("queries", 1000, "queries per shard-count run")
+		workers = flag.Int("workers", 8, "concurrent query workers")
+		seed    = flag.Int64("seed", 51, "deployment seed")
+		shards  = flag.String("shards", "", "comma-separated shard counts (default \"1,<gomaxprocs>\")")
+	)
+	flag.Parse()
+
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts[1] = 2 // exercise the sharded path even on one core
+	}
+	if *shards != "" {
+		counts = counts[:0]
+		for _, s := range strings.Split(*shards, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "benchengine: bad -shards entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, v)
+		}
+	}
+
+	rep := report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Seed:       *seed,
+		Workers:    *workers,
+	}
+	for _, sc := range counts {
+		fmt.Fprintf(os.Stderr, "benchengine: %d queries at %d shard(s), %d workers...\n",
+			*queries, sc, *workers)
+		r, err := bench(sc, *queries, *workers, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchengine: shards=%d %.0f msgs/sec p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			r.Shards, r.MsgsPerSec, r.P50Ms, r.P95Ms, r.P99Ms)
+		rep.Runs = append(rep.Runs, r)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchengine: wrote", *out)
+}

@@ -189,6 +189,7 @@ func main() {
 	adaptEvery := flag.Duration("adapt-interval", 0, "online rebalancing epoch length (0 = adaptation off)")
 	fairThresh := flag.Float64("fairness-threshold", 0.83, "fairness index below which the chosen leader rebalances")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	shards := flag.Int("shards", 0, "engine shards (parallel query loops; 0 = GOMAXPROCS, min 2, max 64)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -204,7 +205,8 @@ func main() {
 		Documents: *docs, Categories: *cats, Nodes: *nodes,
 		Clusters: *clusters, Seed: *seed,
 	}
-	node, err := livenet.StartNode(shape, model.NodeID(*id), *listen, *bootstrap)
+	node, err := livenet.StartNodeWithOptions(shape, model.NodeID(*id), *listen, *bootstrap,
+		livenet.Options{Shards: *shards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
@@ -224,8 +226,8 @@ func main() {
 		fmt.Printf("adaptation on: %v epochs, rebalance below fairness %.2f\n",
 			*adaptEvery, *fairThresh)
 	}
-	fmt.Printf("node %d listening on %s (knows %d peers)\n",
-		node.ID(), node.Addr(), node.KnownPeers())
+	fmt.Printf("node %d listening on %s (knows %d peers, %d engine shards)\n",
+		node.ID(), node.Addr(), node.KnownPeers(), node.Shards())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

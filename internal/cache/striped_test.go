@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"p2pshare/internal/catalog"
+)
+
+// TestStripedSmallCapacitySingleStripe pins the degenerate case: a cache
+// under one stripe budget behaves exactly like the sequential Cache
+// (single stripe, same eviction order).
+func TestStripedSmallCapacitySingleStripe(t *testing.T) {
+	s, err := NewStriped(LRU, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.stripes) != 1 {
+		t.Fatalf("capacity 30 built %d stripes, want 1", len(s.stripes))
+	}
+	for d := catalog.DocID(0); d < 4; d++ {
+		s.Insert(d, 10)
+	}
+	// Capacity 30, four 10-byte docs: doc 0 (least recent) evicted.
+	if s.Peek(0) {
+		t.Error("LRU victim still present")
+	}
+	for d := catalog.DocID(1); d < 4; d++ {
+		if !s.Peek(d) {
+			t.Errorf("doc %d missing", d)
+		}
+	}
+	if s.Len() != 3 || s.UsedBytes() != 30 {
+		t.Errorf("len=%d used=%d, want 3/30", s.Len(), s.UsedBytes())
+	}
+}
+
+// TestStripedConcurrentUse hammers one Striped cache from many
+// goroutines — the race detector is the assertion; the bounds check that
+// the budget held.
+func TestStripedConcurrentUse(t *testing.T) {
+	const capacity = 64 << 20
+	s, err := NewStriped(LRU, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				d := catalog.DocID(g*1000 + i%1500)
+				s.Insert(d, 4<<10)
+				s.Contains(d)             // hit
+				s.Contains(d + (1 << 20)) // miss (never inserted)
+				s.Peek(d + 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.UsedBytes() > capacity {
+		t.Errorf("used %d bytes over the %d budget", s.UsedBytes(), capacity)
+	}
+	if h, m := s.Stats(); h == 0 || m == 0 {
+		t.Errorf("stats not accumulating: hits=%d misses=%d", h, m)
+	}
+}
+
+// TestStripedZeroCapacity checks a disabled cache misses everything and
+// ignores inserts, like the sequential Cache.
+func TestStripedZeroCapacity(t *testing.T) {
+	s, err := NewStriped(LFU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(1, 100)
+	if s.Peek(1) || s.Contains(1) || s.Len() != 0 {
+		t.Error("zero-capacity cache retained a document")
+	}
+	if s.HitRatio() != 0 {
+		t.Error("hit ratio non-zero after only misses")
+	}
+}
+
+// TestStripedBadPolicy propagates the constructor error.
+func TestStripedBadPolicy(t *testing.T) {
+	if _, err := NewStriped(Policy(99), 1<<20); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -140,6 +140,8 @@ func (n *Node) EnableAdaptation(cfg AdaptConfig) {
 		select {
 		case <-enabled:
 		case <-n.done:
+			// Either the control loop enabled it just before shutdown or
+			// it never will; nothing left to wait for.
 		}
 	case <-n.done:
 	}
@@ -270,12 +272,15 @@ func (n *Node) leaderOf(cl model.ClusterID) (model.NodeID, bool) {
 	return best, true
 }
 
-// adaptReport is step 0: report this node's epoch measurement to each
-// of its clusters' leaders, then reset the hit counters.
+// adaptReport is step 0: drain every engine shard's hit counters into
+// one epoch measurement and report it to each of this node's clusters'
+// leaders. The drain itself resets the shard counters, so each report
+// covers exactly one epoch.
 func (n *Node) adaptReport(e uint64) {
 	ad := n.adapt
+	measured := n.drainHits()
 	for _, cl := range ad.mine {
-		hits, units := n.ownLoad(cl)
+		hits, units := n.ownLoad(cl, measured)
 		leader, ok := n.leaderOf(cl)
 		if !ok {
 			continue
@@ -289,18 +294,15 @@ func (n *Node) adaptReport(e uint64) {
 		}
 		n.send(leader, wire.LeaderLoad{Epoch: e, Cluster: cl, Hits: hits, Units: units})
 	}
-	if len(n.hits) > 0 {
-		n.hits = make(map[catalog.CategoryID]int64)
-	}
 }
 
 // ownLoad snapshots this node's measurement for one of its clusters:
-// hit counts of the categories currently routed there, and its
-// per-category unit mass u_k·p(D_s(k))/p(D(k)) (§4.3.3) over its
-// stored documents.
-func (n *Node) ownLoad(cl model.ClusterID) (map[catalog.CategoryID]int64, map[catalog.CategoryID]float64) {
+// hit counts (drained from the shards by the caller) of the categories
+// currently routed there, and its per-category unit mass
+// u_k·p(D_s(k))/p(D(k)) (§4.3.3) over its stored documents.
+func (n *Node) ownLoad(cl model.ClusterID, measured map[catalog.CategoryID]int64) (map[catalog.CategoryID]int64, map[catalog.CategoryID]float64) {
 	hits := make(map[catalog.CategoryID]int64)
-	for c, h := range n.hits {
+	for c, h := range measured {
 		if h > 0 && n.dcrt[c].Cluster == cl {
 			hits[c] = h
 		}

@@ -156,15 +156,18 @@ func TestEvictedTargetsRefilled(t *testing.T) {
 	time.Sleep(1300 * time.Millisecond)
 
 	// Simulate the death cascade: every original target evicted from the
-	// pending entry. Then heal — the refilled resend must get through.
-	cleared := make(chan struct{})
-	origin.cmds <- func(n *Node) {
-		for _, pq := range n.pending {
-			pq.entry = nil
+	// pending entry, on every shard. Then heal — the refilled resend
+	// must get through.
+	for _, s := range origin.shards {
+		cleared := make(chan struct{})
+		s.cmds <- func(s *engineShard) {
+			for _, pq := range s.pending {
+				pq.entry = nil
+			}
+			close(cleared)
 		}
-		close(cleared)
+		<-cleared
 	}
-	<-cleared
 	cn.Clear()
 
 	if err := <-done; err != nil {
@@ -230,17 +233,18 @@ func TestSweepReapsAbandonedPending(t *testing.T) {
 	n := c.Nodes[1]
 
 	planted := make(chan struct{})
-	n.cmds <- func(n *Node) {
+	sh := n.shards[0]
+	sh.cmds <- func(s *engineShard) {
 		pq := &pendingQuery{
-			id:       queryID(n.querySalt, 1<<40), // out of band of real ids
+			id:       s.mintID(), // an id this shard owns
 			cat:      0,
 			want:     1,
 			docs:     map[catalog.DocID]bool{},
 			ch:       make(chan QueryOutcome, 1),
 			deadline: time.Now().Add(-time.Second), // already expired
 		}
-		n.pending[pq.id] = pq
-		n.inflight.Store(int64(len(n.pending)))
+		s.pending[pq.id] = pq
+		s.n.inflight.Add(1)
 		close(planted)
 	}
 	<-planted

@@ -18,72 +18,119 @@ func (n *Node) SetDialer(dial func(addr string) (net.Conn, error)) {
 	n.tr.setDial(dial)
 }
 
-// TableSizes snapshots, through the event loop, the sizes of every
-// state table that must stay bounded on a long-lived node: the pending
-// query table, address book, NRT entries (across clusters), seen-set
-// generations, membership tombstones, and the requester-cache category
-// index. The soak runner asserts bounds on these under churn and
-// partitions; a blocked call (the event loop wedged) is itself an
-// invariant violation the caller detects by timeout.
+// shardTables is one engine shard's contribution to TableSizes /
+// OverduePending, collected inside the shard's loop.
+type shardTables struct {
+	pending int
+	seen    int
+	overdue int
+}
+
+// askShard runs a snapshot command inside one shard's loop. The zero
+// value comes back when the node shuts down first (with the usual
+// run-before-shutdown preference).
+func (s *engineShard) askShard(slack time.Duration) (shardTables, bool) {
+	ch := make(chan shardTables, 1)
+	select {
+	case s.cmds <- func(s *engineShard) {
+		t := shardTables{
+			pending: len(s.pending),
+			seen:    len(s.seenCur) + len(s.seenPrev),
+		}
+		now := time.Now()
+		for _, pq := range s.pending {
+			if now.After(pq.deadline.Add(slack)) {
+				t.overdue++
+			}
+		}
+		ch <- t
+	}:
+	case <-s.n.done:
+		return shardTables{}, false
+	}
+	select {
+	case t := <-ch:
+		return t, true
+	case <-s.n.done:
+		select {
+		case t := <-ch:
+			return t, true
+		default:
+			return shardTables{}, false
+		}
+	}
+}
+
+// TableSizes snapshots the sizes of every state table that must stay
+// bounded on a long-lived node: the pending query table and seen-set
+// generations (summed across every engine shard), address book, NRT
+// entries (across clusters), membership tombstones, and the
+// requester-cache category index. The soak runner asserts bounds on
+// these under churn and partitions; a blocked call (a wedged loop) is
+// itself an invariant violation the caller detects by timeout. The
+// sweep visits each shard's loop in turn, so the snapshot probes every
+// loop's liveness, not just the control loop's.
 func (n *Node) TableSizes() map[string]int {
+	sizes := map[string]int{"pending": 0, "seen": 0}
+	for _, s := range n.shards {
+		t, ok := s.askShard(0)
+		if !ok {
+			return nil
+		}
+		sizes["pending"] += t.pending
+		sizes["seen"] += t.seen
+	}
 	ch := make(chan map[string]int, 1)
 	select {
 	case n.cmds <- func(n *Node) {
-		sizes := map[string]int{
-			"pending": len(n.pending),
-			"book":    len(n.book),
-			"seen":    len(n.seenCur) + len(n.seenPrev),
-		}
+		ctrl := map[string]int{"book": len(n.book)}
 		nrt := 0
 		for _, members := range n.nrt {
 			nrt += len(members)
 		}
-		sizes["nrt"] = nrt
-		cached := 0
-		for _, docs := range n.cacheByCat {
-			cached += len(docs)
-		}
-		sizes["cache_index"] = cached
+		ctrl["nrt"] = nrt
 		if n.det != nil {
-			sizes["tombstones"] = len(n.det.Tombstones())
+			ctrl["tombstones"] = len(n.det.Tombstones())
 		}
-		ch <- sizes
+		ch <- ctrl
 	}:
-		select {
-		case s := <-ch:
-			return s
-		case <-n.done:
-			return nil
-		}
 	case <-n.done:
 		return nil
 	}
+	var ctrl map[string]int
+	select {
+	case ctrl = <-ch:
+	case <-n.done:
+		select {
+		case ctrl = <-ch:
+		default:
+			return nil
+		}
+	}
+	for k, v := range ctrl {
+		sizes[k] = v
+	}
+	if cs := n.cacheSt.Load(); cs != nil {
+		sizes["cache_index"] = cs.indexSize()
+	} else {
+		sizes["cache_index"] = 0
+	}
+	return sizes
 }
 
-// OverduePending counts pending queries that outlived their deadline by
-// more than slack — entries the sweep should have reaped. Anything
-// non-zero means a query slot leaked past its expiry (a stuck query),
-// one of the chaos harness's core invariants.
+// OverduePending counts pending queries, across all shards, that
+// outlived their deadline by more than slack — entries the sweeps
+// should have reaped. Anything non-zero means a query slot leaked past
+// its expiry (a stuck query), one of the chaos harness's core
+// invariants.
 func (n *Node) OverduePending(slack time.Duration) int {
-	ch := make(chan int, 1)
-	select {
-	case n.cmds <- func(n *Node) {
-		now := time.Now()
-		overdue := 0
-		for _, pq := range n.pending {
-			if now.After(pq.deadline.Add(slack)) {
-				overdue++
-			}
-		}
-		ch <- overdue
-	}:
-		select {
-		case v := <-ch:
-			return v
-		case <-n.done:
+	overdue := 0
+	for _, s := range n.shards {
+		t, ok := s.askShard(slack)
+		if !ok {
 			return 0
 		}
-	case <-n.done:
-		return 0
+		overdue += t.overdue
 	}
+	return overdue
 }

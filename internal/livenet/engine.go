@@ -8,18 +8,34 @@ import (
 	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/model"
-	"p2pshare/internal/overlay"
 	"p2pshare/internal/query"
 )
 
-// The concurrent query engine. A node carries many in-flight queries at
-// once: each is an independent state machine (a pendingQuery) owned by
-// the event loop, while the issuing goroutine only waits on its private
-// result channel. Admission control bounds the pending table — a node
-// under overload rejects new queries with ErrOverloaded instead of piling
-// up goroutines — and the requester-side document cache (internal/cache,
-// the paper's §7 viii extension) answers repeat queries in zero hops
-// before any message is sent.
+// The concurrent query engine, caller side. A node carries many in-flight
+// queries at once: each is an independent state machine (a pendingQuery)
+// owned by one engine shard (shard.go), while the issuing goroutine only
+// waits on its private result channel. The caller goroutine does all the
+// work that needs no loop at all — the requester-cache lookup, admission
+// (an atomic CAS reservation against inflightMax), and the routing-table
+// snapshot — and only then registers the query on a shard. Admission
+// control bounds the pending table across all shards: a node under
+// overload rejects new queries with ErrOverloaded instead of piling up
+// goroutines, and the requester-side document cache (internal/cache, the
+// paper's §7 viii extension) answers repeat queries in zero hops before
+// any message is sent.
+//
+// Outcome accounting is conservative — every QueryContext call counts
+// queries_total exactly once at entry and exactly one of
+//
+//	queries_ok + query_rejected + query_no_route +
+//	query_timeouts + query_cancelled + query_closed
+//
+// on exit, and the latency histogram observes every completed, timed-out,
+// and cancelled query (not just successes — an abandoned query's wait is
+// response-time the caller experienced too). The pre-shard engine counted
+// some exits twice (cache hits also recorded ok) and dropped others
+// (cancellations before registration vanished); the conservation equation
+// above is pinned by TestQueryAccountingConservation.
 const (
 	// DefaultMaxInFlight bounds concurrently pending queries per node;
 	// queries beyond it are rejected with ErrOverloaded (admission
@@ -50,49 +66,121 @@ const (
 // ctx.Err() and frees the slot immediately.
 func (n *Node) QueryContext(ctx context.Context, cat catalog.CategoryID, m int) (query.Result, error) {
 	start := time.Now()
+	n.stats.Add("queries_total", 1)
 	if err := ctx.Err(); err != nil {
-		return query.Result{}, ctxQueryErr(err)
+		reason, qerr := ctxReason(err)
+		n.stats.Add(reason, 1)
+		n.latency.ObserveDuration(time.Since(start))
+		return query.Result{}, qerr
 	}
-	type issued struct {
-		id  uint64
-		out *query.Result // set when answered from the requester cache
-		err error
+	select {
+	case <-n.done:
+		// Fail fast on a closed node — without this, a query could reach
+		// admission and bounce off slots that died with the engine.
+		n.stats.Add("query_closed", 1)
+		return query.Result{}, ErrClosed
+	default:
 	}
-	ich := make(chan issued, 1)
+
+	// Requester-cache lookup, entirely in this goroutine: a full cache
+	// hit never touches a loop, a channel, or the network.
+	docs := make(map[catalog.DocID]bool, m)
+	if cs := n.cacheSt.Load(); cs != nil {
+		for _, d := range cs.lookup(cat, m) {
+			cs.docs.Contains(d) // refresh recency/frequency and hit stats
+			docs[d] = true
+		}
+		if len(docs) >= m {
+			n.stats.Add("cache_hit", 1)
+			out := query.Result{Done: true, Results: len(docs)}
+			for d := range docs {
+				out.Docs = append(out.Docs, d)
+			}
+			out.ResponseTime = time.Since(start)
+			n.latency.ObserveDuration(out.ResponseTime)
+			n.stats.Add("queries_ok", 1)
+			return out, nil
+		}
+		n.stats.Add("cache_miss", 1)
+	}
+
+	// Admission: CAS-reserve a slot so the bound stays exact with every
+	// shard and caller admitting at once (a plain load-then-increment
+	// overshoots under contention). The slot is released by the owning
+	// shard when the query leaves its pending table, or right here on
+	// the paths below that never reach a shard.
+	for {
+		cur := n.inflight.Load()
+		if cur >= n.inflightMax.Load() {
+			n.stats.Add("query_rejected", 1)
+			return query.Result{}, ErrOverloaded
+		}
+		if n.inflight.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+
+	// Route snapshot under the read lock. Prefer members this node can
+	// actually address: the static NRT priming lists peers that may
+	// never have joined this deployment, and a query sent to one of
+	// those is a guaranteed timeout.
+	n.routeMu.RLock()
+	var members []model.NodeID
+	if entry, ok := n.dcrt[cat]; ok {
+		all := n.nrt[entry.Cluster]
+		for _, mb := range all {
+			if _, known := n.book[mb]; known {
+				members = append(members, mb)
+			}
+		}
+		if members == nil {
+			members = append([]model.NodeID(nil), all...)
+		}
+	}
+	n.routeMu.RUnlock()
+	if len(members) == 0 {
+		n.inflight.Add(-1)
+		n.stats.Add("query_no_route", 1)
+		return query.Result{}, ErrNoRoute
+	}
+
+	// Register on a shard (round-robin). From here on the shard owns the
+	// pending entry and the in-flight slot.
+	sh := n.pickShard()
+	ich := make(chan uint64, 1)
 	ch := make(chan query.Result, 1)
 	deadline, hasDeadline := ctx.Deadline()
 	select {
-	case n.cmds <- func(n *Node) {
-		id, out, err := n.startQuery(cat, m, ch, deadline, hasDeadline)
-		ich <- issued{id: id, out: out, err: err}
+	case sh.cmds <- func(s *engineShard) {
+		ich <- s.register(cat, m, docs, ch, deadline, hasDeadline, members)
 	}:
 	case <-ctx.Done():
-		return query.Result{}, ctxQueryErr(ctx.Err())
+		n.inflight.Add(-1)
+		reason, qerr := ctxReason(ctx.Err())
+		n.stats.Add(reason, 1)
+		n.latency.ObserveDuration(time.Since(start))
+		return query.Result{}, qerr
 	case <-n.done:
+		n.inflight.Add(-1)
+		n.stats.Add("query_closed", 1)
 		return query.Result{}, ErrClosed
 	}
-	var is issued
+	var id uint64
 	select {
-	case is = <-ich:
+	case id = <-ich:
 	case <-n.done:
-		// The event loop may have run the command just before shutting
-		// down; prefer its answer when present.
+		// The shard may have run the command just before shutting down;
+		// prefer its answer when present. If it never ran, the slot is
+		// still ours to release.
 		select {
-		case is = <-ich:
+		case id = <-ich:
 		default:
+			n.inflight.Add(-1)
+			n.stats.Add("query_closed", 1)
 			return query.Result{}, ErrClosed
 		}
 	}
-	switch {
-	case is.err != nil:
-		return query.Result{}, is.err
-	case is.out != nil: // answered from the cache in zero hops
-		out := *is.out
-		out.ResponseTime = time.Since(start)
-		n.latency.ObserveDuration(out.ResponseTime)
-		n.stats.Add("queries_ok", 1)
-		return out, nil
-	}
+
 	select {
 	case out := <-ch:
 		out.ResponseTime = time.Since(start)
@@ -100,22 +188,31 @@ func (n *Node) QueryContext(ctx context.Context, cat catalog.CategoryID, m int) 
 		n.stats.Add("queries_ok", 1)
 		return out, nil
 	case <-ctx.Done():
-		reason := "query_cancelled"
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			reason = "query_timeouts"
-		}
-		out, completed := n.abandonQuery(is.id, ch, reason)
+		reason, qerr := ctxReason(ctx.Err())
+		out, completed := n.abandonQuery(id, ch)
 		out.ResponseTime = time.Since(start)
+		n.latency.ObserveDuration(out.ResponseTime)
 		if completed {
 			// The query finished in the race window between ctx firing
 			// and the slot being released; report the success.
-			n.latency.ObserveDuration(out.ResponseTime)
 			n.stats.Add("queries_ok", 1)
 			return out, nil
 		}
-		return out, ctxQueryErr(ctx.Err())
+		n.stats.Add(reason, 1)
+		return out, qerr
 	case <-n.done:
-		return query.Result{}, ErrClosed
+		// Same preference on shutdown: a result delivered just before
+		// close still counts as a success.
+		select {
+		case out := <-ch:
+			out.ResponseTime = time.Since(start)
+			n.latency.ObserveDuration(out.ResponseTime)
+			n.stats.Add("queries_ok", 1)
+			return out, nil
+		default:
+			n.stats.Add("query_closed", 1)
+			return query.Result{}, ErrClosed
+		}
 	}
 }
 
@@ -130,94 +227,28 @@ func (n *Node) Query(cat catalog.CategoryID, m int, timeout time.Duration) (Quer
 	return n.QueryContext(ctx, cat, m)
 }
 
-// ctxQueryErr maps a context error to the engine's sentinel: a deadline
-// is a query timeout; an explicit cancellation stays ctx.Err() so callers
-// can tell the two apart.
-func ctxQueryErr(err error) error {
+// ctxReason maps a context error to its stats counter and the engine's
+// sentinel: a deadline is a query timeout; an explicit cancellation stays
+// ctx.Err() so callers can tell the two apart.
+func ctxReason(err error) (string, error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		return ErrTimeout
+		return "query_timeouts", ErrTimeout
 	}
-	return err
-}
-
-// startQuery admits, registers, and issues one query. Runs in the event
-// loop. It returns either a pending id, a complete cache-served result,
-// or an admission/routing error.
-func (n *Node) startQuery(cat catalog.CategoryID, m int, ch chan query.Result, deadline time.Time, hasDeadline bool) (uint64, *query.Result, error) {
-	if len(n.pending) >= n.inflightMax {
-		n.stats.Add("query_rejected", 1)
-		return 0, nil, ErrOverloaded
-	}
-	docs := make(map[catalog.DocID]bool, m)
-	if n.docCache != nil {
-		for _, d := range n.cachedIn(cat, m) {
-			n.docCache.Contains(d) // refresh recency/frequency
-			docs[d] = true
-		}
-		if len(docs) >= m {
-			n.stats.Add("cache_hit", 1)
-			out := query.Result{Done: true, Results: len(docs)}
-			for d := range docs {
-				out.Docs = append(out.Docs, d)
-			}
-			return 0, &out, nil
-		}
-		n.stats.Add("cache_miss", 1)
-	}
-	entry, ok := n.dcrt[cat]
-	if !ok {
-		n.stats.Add("query_no_route", 1)
-		return 0, nil, ErrNoRoute
-	}
-	members := n.nrt[entry.Cluster]
-	// Prefer members this node can actually address: the static NRT
-	// priming lists peers that may never have joined this deployment,
-	// and a query sent to one of those is a guaranteed timeout.
-	var reachable []model.NodeID
-	for _, mb := range members {
-		if _, ok := n.book[mb]; ok {
-			reachable = append(reachable, mb)
-		}
-	}
-	if len(reachable) > 0 {
-		members = reachable
-	}
-	if len(members) == 0 {
-		n.stats.Add("query_no_route", 1)
-		return 0, nil, ErrNoRoute
-	}
-	n.nextQuery++
-	id := queryID(n.querySalt, n.nextQuery)
-	now := time.Now()
-	pq := &pendingQuery{
-		id:       id,
-		cat:      cat,
-		want:     m,
-		docs:     docs,
-		ch:       ch,
-		deadline: now.Add(maxPendingAge),
-		lastSend: now,
-		entry:    append([]model.NodeID(nil), members...),
-	}
-	if hasDeadline {
-		pq.deadline = deadline.Add(pendingGrace)
-	}
-	n.pending[id] = pq
-	n.inflight.Store(int64(len(n.pending)))
-	n.sendQuery(pq)
-	return id, nil, nil
+	return "query_cancelled", err
 }
 
 // queryID builds a globally unique query id from the node's 64-bit salt
-// and its per-node sequence number. The pre-fix scheme kept only the low
+// and a per-shard sequence number. The pre-fix scheme kept only the low
 // 16 bits of the node id (`nextQuery<<16 | id&0xffff`), so two nodes
 // whose ids agree mod 65536 minted IDENTICAL ids at the same sequence
 // point — and the flood-dedup `seen` set then suppressed one node's
 // query as a duplicate of the other's. Mixing the full node id through a
 // bijective 64-bit finalizer makes same-node ids distinct by
 // construction (mixQ is a bijection over the sequence) and cross-node
-// collisions need a full 64-bit match (~2^-64 per pair) instead of a
-// low-16-bit one.
+// collisions need a full-width match instead of a low-16-bit one. The
+// sharded engine overwrites the low shardIDBits bits with the minting
+// shard's index (see engineShard.mintID), leaving 58 bits of cross-node
+// entropy.
 func queryID(salt, seq uint64) uint64 {
 	return mixQ(salt ^ mixQ(seq))
 }
@@ -235,36 +266,34 @@ func mixQ(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// sendQuery (re)issues the query to a random reachable member of the
-// serving cluster. The full demand goes out even when the cache primed a
-// partial answer: intermediate nodes subtract their own matches from Want
-// before forwarding, so a reduced demand would degenerate the flood and
-// could strand the query one hop in.
-func (n *Node) sendQuery(pq *pendingQuery) {
-	if len(pq.entry) == 0 {
-		return // all targets evicted; the sweep refills or expires
-	}
-	target := pq.entry[n.rng.Intn(len(pq.entry))]
-	n.send(target, overlay.QueryMsg{
-		ID: pq.id, Category: pq.cat, Want: pq.want, Origin: n.id, Hops: 1, Entry: true,
-	})
-}
-
-// refillEntry rebuilds a pending query's resend-target list from the
-// current routing tables — the original targets may all have been
-// evicted by membership while the query was in flight. Targets already
-// in the list are not re-added: a blind append would insert duplicates
-// on every sweep pass, growing the slice without bound and biasing the
-// uniform resend pick toward whichever members were appended most often.
+// refillEntry reconciles a pending query's resend-target list with the
+// current routing tables: members the failure detector has evicted since
+// the query was issued are pruned, and current serving-cluster members
+// are added. The owning shard calls this from its sweep under
+// routeMu.RLock — membership changes are not broadcast into shards;
+// shards catch up lazily here, just before they would resend. Targets
+// already in the list are not re-added: a blind append would insert
+// duplicates on every sweep pass, growing the slice without bound and
+// biasing the uniform resend pick toward whichever members were appended
+// most often.
 func (n *Node) refillEntry(pq *pendingQuery) {
 	entry, ok := n.dcrt[pq.cat]
 	if !ok {
 		return
 	}
+	live := pq.entry[:0]
 	have := make(map[model.NodeID]struct{}, len(pq.entry))
 	for _, m := range pq.entry {
+		if _, known := n.book[m]; !known {
+			continue // evicted by membership; resending there is wasted
+		}
+		if _, dup := have[m]; dup {
+			continue
+		}
 		have[m] = struct{}{}
+		live = append(live, m)
 	}
+	pq.entry = live
 	for _, mb := range n.nrt[entry.Cluster] {
 		if _, dup := have[mb]; dup {
 			continue
@@ -276,29 +305,30 @@ func (n *Node) refillEntry(pq *pendingQuery) {
 	}
 }
 
-// abandonQuery releases a cancelled or deadline-expired query's slot and
-// returns whatever partial outcome accumulated (caching the partial docs
-// — they were fetched either way). If the event loop completed the query
-// in the race window the completed outcome is recovered from ch instead;
-// the second return reports that case.
-func (n *Node) abandonQuery(id uint64, ch chan query.Result, reason string) (query.Result, bool) {
+// abandonQuery releases a cancelled or deadline-expired query's slot via
+// its owning shard and returns whatever partial outcome accumulated
+// (caching the partial docs — they were fetched either way). If the
+// shard completed the query in the race window the completed outcome is
+// recovered from ch instead; the second return reports that case. The
+// caller owns the stats accounting for whichever outcome this returns.
+func (n *Node) abandonQuery(id uint64, ch chan query.Result) (query.Result, bool) {
+	sh := n.shardFor(id)
 	type taken struct {
 		out     query.Result
 		dropped bool
 	}
 	res := make(chan taken, 1)
 	select {
-	case n.cmds <- func(n *Node) {
-		pq, ok := n.pending[id]
+	case sh.cmds <- func(s *engineShard) {
+		pq, ok := s.pending[id]
 		if !ok {
 			res <- taken{}
 			return
 		}
-		n.cacheDocs(pq.docs)
+		s.n.cacheDocs(pq.docs)
 		out := pq.result(false)
-		delete(n.pending, id)
-		n.inflight.Store(int64(len(n.pending)))
-		n.stats.Add(reason, 1)
+		delete(s.pending, id)
+		s.n.inflight.Add(-1)
 		res <- taken{out: out, dropped: true}
 	}:
 	case <-n.done:
@@ -308,7 +338,11 @@ func (n *Node) abandonQuery(id uint64, ch chan query.Result, reason string) (que
 	select {
 	case tk = <-res:
 	case <-n.done:
-		return query.Result{}, false
+		select {
+		case tk = <-res:
+		default:
+			return query.Result{}, false
+		}
 	}
 	if tk.dropped {
 		return tk.out, false
@@ -322,122 +356,38 @@ func (n *Node) abandonQuery(id uint64, ch chan query.Result, reason string) (que
 	}
 }
 
-// finishPending delivers a query's outcome exactly once and releases its
-// slot. Runs in the event loop.
-func (n *Node) finishPending(pq *pendingQuery, done bool) {
-	n.cacheDocs(pq.docs)
-	out := pq.result(done)
-	select {
-	case pq.ch <- out:
-	default: // caller abandoned; the slot still frees
-	}
-	delete(n.pending, pq.id)
-	n.inflight.Store(int64(len(n.pending)))
-}
-
-// cachedIn returns up to max currently-cached documents of a category,
-// pruning evicted and duplicate ids from the per-category index as it
-// goes (a doc evicted and re-cached can appear twice in one list; the
-// dedup keeps the index and the returned set consistent).
-func (n *Node) cachedIn(cat catalog.CategoryID, max int) []catalog.DocID {
-	list := n.cacheByCat[cat]
-	live := list[:0]
-	seen := make(map[catalog.DocID]struct{}, len(list))
-	var out []catalog.DocID
-	for _, d := range list {
-		if _, dup := seen[d]; dup {
-			continue // duplicate index entry; prune
-		}
-		if !n.docCache.Peek(d) {
-			continue // evicted; prune
-		}
-		seen[d] = struct{}{}
-		live = append(live, d)
-		if len(out) < max {
-			out = append(out, d)
-		}
-	}
-	if len(live) == 0 && list != nil {
-		delete(n.cacheByCat, cat)
-		return out
-	}
-	n.cacheByCat[cat] = live
-	return out
-}
-
-// cacheDocs inserts received result documents into the requester cache,
-// indexing each under EVERY category it belongs to. Indexing only under
-// Categories[0] (the pre-fix behavior) made repeat queries in a
-// multi-category doc's other categories permanent cache misses — the
-// doc was resident but invisible to cachedIn. Stale index entries left
-// by eviction are pruned by cachedIn on the next read of each list.
-func (n *Node) cacheDocs(docs map[catalog.DocID]bool) {
-	if n.docCache == nil {
-		return
-	}
-	for d := range docs {
-		doc := n.inst.Catalog.Doc(d)
-		if doc == nil || n.docCache.Peek(d) {
-			continue
-		}
-		n.docCache.Insert(d, doc.Size)
-		if n.docCache.Peek(d) {
-			for _, cat := range doc.Categories {
-				n.cacheByCat[cat] = append(n.cacheByCat[cat], d)
-			}
-		}
-	}
-}
-
 // InFlight reports how many queries this node currently has pending (a
 // point-in-time gauge; also exported as queries_inflight in Stats).
 func (n *Node) InFlight() int { return int(n.inflight.Load()) }
 
 // SetMaxInFlight resizes the admission-control bound (k <= 0 restores
-// DefaultMaxInFlight). Queries already pending are unaffected.
+// DefaultMaxInFlight). Queries already pending are unaffected. Lock-free
+// and safe concurrently with Close — the pre-shard version enqueued a
+// command on the event loop and could deadlock against shutdown.
 func (n *Node) SetMaxInFlight(k int) {
 	if k <= 0 {
 		k = DefaultMaxInFlight
 	}
-	applied := make(chan struct{})
-	select {
-	case n.cmds <- func(n *Node) { n.inflightMax = k; close(applied) }:
-		select {
-		case <-applied:
-		case <-n.done:
-		}
-	case <-n.done:
-	}
+	n.inflightMax.Store(int64(k))
 }
 
 // SetCacheCapacity replaces the requester-side document cache with a
 // fresh one of the given policy and byte capacity; 0 bytes disables
-// caching. Previously cached contents are discarded.
+// caching. Previously cached contents are discarded. The swap is a
+// single atomic pointer store: in-progress lookups finish against the
+// generation they loaded, and like SetMaxInFlight this no longer rides
+// the event loop, so it cannot deadlock against Close.
 func (n *Node) SetCacheCapacity(policy cache.Policy, bytes int64) error {
-	errc := make(chan error, 1)
-	select {
-	case n.cmds <- func(n *Node) {
-		if bytes == 0 {
-			n.docCache, n.cacheByCat = nil, nil
-			errc <- nil
-			return
-		}
-		dc, err := cache.New(policy, bytes)
-		if err == nil {
-			n.docCache = dc
-			n.cacheByCat = make(map[catalog.CategoryID][]catalog.DocID)
-		}
-		errc <- err
-	}:
-		select {
-		case err := <-errc:
-			return err
-		case <-n.done:
-			return ErrClosed
-		}
-	case <-n.done:
-		return ErrClosed
+	if bytes == 0 {
+		n.cacheSt.Store(nil)
+		return nil
 	}
+	cs, err := newCacheState(policy, bytes)
+	if err != nil {
+		return err
+	}
+	n.cacheSt.Store(cs)
+	return nil
 }
 
 // Instance exposes the deployment's content model (for workload

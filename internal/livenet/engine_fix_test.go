@@ -130,24 +130,20 @@ func multiCatInstance(t *testing.T) (*model.Instance, *catalog.Document) {
 }
 
 // TestCacheDocsIndexesAllCategories pins the cache-index fix: a cached
-// multi-category document must be found by cachedIn under EVERY one of
+// multi-category document must be found by lookup under EVERY one of
 // its categories, not only Categories[0] — the pre-fix behavior made
 // repeat queries in the doc's other categories permanent cache misses.
+// The fix now lives in cacheState.add (cachestate.go).
 func TestCacheDocsIndexesAllCategories(t *testing.T) {
 	inst, doc := multiCatInstance(t)
-	dc, err := cache.New(cache.LRU, 10*doc.Size)
+	cs, err := newCacheState(cache.LRU, 10*doc.Size)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := &Node{
-		inst:       inst,
-		docCache:   dc,
-		cacheByCat: make(map[catalog.CategoryID][]catalog.DocID),
-	}
 
-	n.cacheDocs(map[catalog.DocID]bool{doc.ID: true})
+	cs.add(inst, map[catalog.DocID]bool{doc.ID: true})
 	for _, cat := range doc.Categories {
-		got := n.cachedIn(cat, 1)
+		got := cs.lookup(cat, 1)
 		if len(got) != 1 || got[0] != doc.ID {
 			t.Errorf("cached doc %d invisible under its category %d (got %v)",
 				doc.ID, cat, got)
@@ -159,19 +155,19 @@ func TestCacheDocsIndexesAllCategories(t *testing.T) {
 	for i := range inst.Catalog.Docs {
 		d := &inst.Catalog.Docs[i]
 		if d.ID != doc.ID {
-			n.cacheDocs(map[catalog.DocID]bool{d.ID: true})
+			cs.add(inst, map[catalog.DocID]bool{d.ID: true})
 		}
 	}
-	if n.docCache.Peek(doc.ID) {
+	if cs.docs.Peek(doc.ID) {
 		t.Skip("flooding did not evict the doc; cache larger than expected")
 	}
 	for _, cat := range doc.Categories {
-		for _, d := range n.cachedIn(cat, 100) {
+		for _, d := range cs.lookup(cat, 100) {
 			if d == doc.ID {
 				t.Errorf("evicted doc %d still served from category %d index", doc.ID, cat)
 			}
 		}
-		for _, d := range n.cacheByCat[cat] {
+		for _, d := range cs.catIndex(cat) {
 			if d == doc.ID {
 				t.Errorf("evicted doc %d not pruned from category %d index", doc.ID, cat)
 			}
@@ -184,23 +180,18 @@ func TestCacheDocsIndexesAllCategories(t *testing.T) {
 // histories) is returned once and the index collapses to one entry.
 func TestCachedInDropsDuplicateIndexEntries(t *testing.T) {
 	inst, doc := multiCatInstance(t)
-	dc, err := cache.New(cache.LRU, 10*doc.Size)
+	cs, err := newCacheState(cache.LRU, 10*doc.Size)
 	if err != nil {
 		t.Fatal(err)
 	}
+	_ = inst
 	cat := doc.Categories[0]
-	n := &Node{
-		inst:     inst,
-		docCache: dc,
-		cacheByCat: map[catalog.CategoryID][]catalog.DocID{
-			cat: {doc.ID, doc.ID, doc.ID},
-		},
+	cs.seedCatIndex(cat, []catalog.DocID{doc.ID, doc.ID, doc.ID})
+	cs.docs.Insert(doc.ID, doc.Size)
+	if got := cs.lookup(cat, 10); len(got) != 1 || got[0] != doc.ID {
+		t.Fatalf("lookup over a duplicated index returned %v, want [%d]", got, doc.ID)
 	}
-	dc.Insert(doc.ID, doc.Size)
-	if got := n.cachedIn(cat, 10); len(got) != 1 || got[0] != doc.ID {
-		t.Fatalf("cachedIn over a duplicated index returned %v, want [%d]", got, doc.ID)
-	}
-	if idx := n.cacheByCat[cat]; len(idx) != 1 {
+	if idx := cs.catIndex(cat); len(idx) != 1 {
 		t.Fatalf("index not collapsed after read: %v", idx)
 	}
 }

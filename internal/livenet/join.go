@@ -102,6 +102,12 @@ func (sh Shape) Build() (*model.Instance, []model.ClusterID, *replica.Placement,
 // on listenAddr, and — when bootstrapAddr is non-empty — announces itself
 // to the existing deployment and fetches the address book.
 func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*Node, error) {
+	return StartNodeWithOptions(sh, id, listenAddr, bootstrapAddr, Options{})
+}
+
+// StartNodeWithOptions is StartNode with engine tuning (Options.Shards
+// sets the engine shard count; zero means DefaultShards).
+func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string, opts Options) (*Node, error) {
 	inst, assign, place, err := sh.Build()
 	if err != nil {
 		return nil, err
@@ -113,7 +119,7 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*No
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen %s: %w", listenAddr, err)
 	}
-	n := newNode(inst, id, ln, sh.Seed)
+	n := newNode(inst, id, ln, sh.Seed, opts.Shards)
 	for _, d := range place.Stored[id] {
 		n.storeDoc(d)
 	}
@@ -139,9 +145,7 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*No
 			}
 		}
 	}
-	n.wg.Add(2)
-	go n.acceptLoop()
-	go n.eventLoop()
+	n.startLoops()
 
 	// Standalone deployments face real churn, so the failure detector is
 	// on by default (Launch-style in-process clusters opt in with
@@ -224,15 +228,14 @@ func (n *Node) announce(bootstrapAddr string) error {
 }
 
 // KnownPeers reports how many peers (including itself) the node can
-// address.
+// address. Reads the book directly under the routing read lock — the
+// pre-shard version rode the event loop and then blocked on `<-ch` with
+// no shutdown arm, so KnownPeers racing Close hung forever (pinned by
+// TestCloseRaceAccessors).
 func (n *Node) KnownPeers() int {
-	ch := make(chan int, 1)
-	select {
-	case n.cmds <- func(n *Node) { ch <- len(n.book) }:
-		return <-ch
-	case <-n.done:
-		return 0
-	}
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	return len(n.book)
 }
 
 // handleHello merges the newcomer into the book, replies with the full

@@ -6,14 +6,20 @@
 // goroutines and sockets, and is the natural starting point for a
 // multi-host deployment.
 //
-// Concurrency model: each peer runs a single event-loop goroutine that
-// owns all peer state. The TCP accept loop and the public API feed it
-// through one channel, so handlers are lock-free and ordering per peer is
-// serial — the same discipline the paper's per-node protocol descriptions
-// assume. Queries are fully concurrent: each QueryContext call registers
-// an independent state machine in the event loop's pending table (bounded
-// by admission control) and only the issuing goroutine blocks, so one
-// node sustains hundreds of in-flight queries at once (engine.go).
+// Concurrency model: each peer's query engine is SHARDED — the pending
+// query table, flood-dedup seen set, and query-id minting are
+// partitioned across P shard loops keyed by query id (shard.go), and
+// the per-connection reader goroutines dispatch decoded QueryMsg/
+// ResultMsg frames straight to the owning shard, so a node's protocol
+// work scales across cores instead of serializing on one loop. A
+// dedicated control loop owns everything low-rate and topological:
+// membership, adaptation, the address book, and the DT/DCRT/NRT routing
+// tables, which shards read under an RWMutex (routeMu) the control loop
+// alone writes. Queries are fully concurrent: each QueryContext call
+// passes admission (an atomic reservation) and the requester cache in
+// its own goroutine, registers an independent state machine on one
+// shard, and only the issuing goroutine blocks, so one node sustains
+// hundreds of in-flight queries at once (engine.go).
 // Outbound messages go through a per-peer persistent-connection pool
 // (transport.go): one framed stream per destination, reused across
 // messages, with reconnect-on-failure and capped backoff. Streams speak
@@ -29,6 +35,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,9 +87,9 @@ type envelope = wire.Envelope
 type QueryOutcome = query.Result
 
 // pendingQuery is one in-flight query's state machine, owned by the
-// event loop. The issuing goroutine holds only the buffered result
-// channel; everything else advances on received ResultMsgs and sweep
-// ticks (deadline expiry, resend-on-silence).
+// engine shard its id routes to. The issuing goroutine holds only the
+// buffered result channel; everything else advances on received
+// ResultMsgs and sweep ticks (deadline expiry, resend-on-silence).
 type pendingQuery struct {
 	id       uint64
 	cat      catalog.CategoryID
@@ -106,7 +113,7 @@ func (pq *pendingQuery) result(done bool) query.Result {
 	return out
 }
 
-// command is an API request executed inside the event loop.
+// command is an API request executed inside the control loop.
 type command func(*Node)
 
 // Node is one live peer.
@@ -116,14 +123,15 @@ type Node struct {
 	ln   net.Listener
 	rng  *rand.Rand
 
-	// book maps node ids to listen addresses (owned by the event loop:
-	// handleHello and handleBook mutate it).
-	book map[model.NodeID]string
-
-	inbox chan envelope
+	inbox chan envelope // control messages (everything but Query/Result)
 	cmds  chan command
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// shards partition the query engine (shard.go); nextShard
+	// round-robins new queries across them.
+	shards    []*engineShard
+	nextShard atomic.Uint64
 
 	// tr is the outbound persistent-connection pool; stats and latency
 	// are shared with it and safe for concurrent use.
@@ -136,43 +144,44 @@ type Node struct {
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
 
-	// Peer state — owned by the event loop.
+	// Routing and topology state. The control loop is the sole writer
+	// and holds routeMu.Lock for every event it processes; engine shards
+	// and API callers read under routeMu.RLock. book maps node ids to
+	// listen addresses (handleHello and handleBook mutate it).
+	routeMu sync.RWMutex
+	book    map[model.NodeID]string
 	dt      map[catalog.DocID]catalog.CategoryID
 	byCat   map[catalog.CategoryID][]catalog.DocID
 	dcrt    map[catalog.CategoryID]overlay.DCRTEntry
 	nrt     map[model.ClusterID][]model.NodeID
-	pending map[uint64]*pendingQuery
-	served  int64
 
-	// inflightMax is the admission-control bound on len(pending);
-	// inflight mirrors len(pending) for lock-free gauge reads.
-	inflightMax int
+	// served counts requests this node answered (shards increment).
+	served atomic.Int64
+
+	// inflightMax is the admission-control bound on pending queries
+	// across all shards; inflight is the live reservation count (slots
+	// are CAS-reserved by callers and released by the owning shard), so
+	// the bound is exact even with every shard admitting at once.
+	inflightMax atomic.Int64
 	inflight    atomic.Int64
 
-	// docCache is the requester-side document cache (§7 viii): results of
-	// completed queries are kept and repeat queries answered in zero
-	// hops. cacheByCat indexes cached docs per category; entries may be
-	// stale after eviction and are pruned on read. Both owned by the
-	// event loop; nil when caching is disabled.
-	docCache   *cache.Cache
-	cacheByCat map[catalog.CategoryID][]catalog.DocID
-
-	// seen dedups query ids in two generations; the sweep rotates them
-	// so the set stays bounded on a long-lived node.
-	seenCur  map[uint64]struct{}
-	seenPrev map[uint64]struct{}
+	// cacheSt is the requester-side document cache generation (§7 viii,
+	// cachestate.go): results of completed queries are kept and repeat
+	// queries answered in zero hops, checked in the caller goroutine.
+	// SetCacheCapacity swaps the whole generation atomically; nil when
+	// caching is disabled.
+	cacheSt atomic.Pointer[cacheState]
 
 	// det is the SWIM failure detector (membership.go); nil until
 	// StartMembership. gauges holds the point-in-time membership and
-	// fairness readings merged into Stats(). Both owned by the event loop
-	// (gauges is itself concurrency-safe for the Stats() reader).
+	// fairness readings merged into Stats(). Both owned by the control
+	// loop (gauges is itself concurrency-safe for the Stats() reader).
 	det    *membership.Detector
 	gauges *metrics.SyncGauge
 
-	// hits counts per-category requests entering this node (the §6.1.2
-	// monitoring counter feeding adaptation); adapt is the live
-	// adaptation state (adapt.go), nil until EnableAdaptation.
-	hits  map[catalog.CategoryID]int64
+	// adapt is the live adaptation state (adapt.go), nil until
+	// EnableAdaptation; owned by the control loop. The §6.1.2 hit
+	// counters feeding it live on the shards (drainHits).
 	adapt *adaptState
 
 	// legacyGob makes the node behave like a pre-v2 peer on inbound
@@ -180,46 +189,48 @@ type Node struct {
 	// gob. Mixed-version testing only.
 	legacyGob atomic.Bool
 
-	// nextQuery and querySalt mint query ids: a per-node sequence mixed
-	// with a full-width node discriminant (see queryID in engine.go).
-	nextQuery uint64
+	// querySalt mints query ids: each shard's sequence is mixed with
+	// this full-width node discriminant (see queryID in engine.go).
 	querySalt uint64
 }
 
 // newNode builds a Node with empty peer state, its own private address
-// book, an idle transport, and a default-capacity requester cache.
-func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64) *Node {
+// book, an idle transport, shards engine shards, and a default-capacity
+// requester cache.
+func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64, shards int) *Node {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
 	stats := metrics.NewSyncCounter()
-	docCache, _ := cache.New(cache.LRU, DefaultCacheBytes)
 	n := &Node{
-		id:       id,
-		inst:     inst,
-		ln:       ln,
-		rng:      newNodeRng(seed, id),
-		book:     map[model.NodeID]string{id: ln.Addr().String()},
-		inbox:    make(chan envelope, 256),
-		cmds:     make(chan command, 16),
-		done:     make(chan struct{}),
-		tr:       newTransport(id, seed, stats),
-		stats:    stats,
-		latency:  &metrics.SyncHistogram{},
-		conns:    make(map[net.Conn]struct{}),
-		dt:       make(map[catalog.DocID]catalog.CategoryID),
-		byCat:    make(map[catalog.CategoryID][]catalog.DocID),
-		dcrt:     make(map[catalog.CategoryID]overlay.DCRTEntry),
-		nrt:      make(map[model.ClusterID][]model.NodeID),
-		pending:  make(map[uint64]*pendingQuery),
-		seenCur:  make(map[uint64]struct{}),
-		seenPrev: make(map[uint64]struct{}),
-
-		inflightMax: DefaultMaxInFlight,
-		docCache:    docCache,
-		cacheByCat:  make(map[catalog.CategoryID][]catalog.DocID),
+		id:      id,
+		inst:    inst,
+		ln:      ln,
+		rng:     newNodeRng(seed, id),
+		book:    map[model.NodeID]string{id: ln.Addr().String()},
+		inbox:   make(chan envelope, 256),
+		cmds:    make(chan command, 16),
+		done:    make(chan struct{}),
+		tr:      newTransport(id, seed, stats),
+		stats:   stats,
+		latency: &metrics.SyncHistogram{},
+		conns:   make(map[net.Conn]struct{}),
+		dt:      make(map[catalog.DocID]catalog.CategoryID),
+		byCat:   make(map[catalog.CategoryID][]catalog.DocID),
+		dcrt:    make(map[catalog.CategoryID]overlay.DCRTEntry),
+		nrt:     make(map[model.ClusterID][]model.NodeID),
 
 		gauges:    metrics.NewSyncGauge(),
-		hits:      make(map[catalog.CategoryID]int64),
 		querySalt: querySaltFor(id),
 	}
+	n.inflightMax.Store(DefaultMaxInFlight)
+	if cs, err := newCacheState(cache.LRU, DefaultCacheBytes); err == nil {
+		n.cacheSt.Store(cs)
+	}
+	n.shards = newShards(n, shards, seed)
 	n.tr.onPeerDown = func(peer model.NodeID) {
 		select {
 		case n.cmds <- func(n *Node) { n.evictPeer(peer) }:
@@ -229,23 +240,28 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64)
 	return n
 }
 
+// startLoops launches the node's goroutines: the TCP accept loop, the
+// control loop, and one loop per engine shard.
+func (n *Node) startLoops() {
+	n.wg.Add(2 + len(n.shards))
+	go n.acceptLoop()
+	go n.controlLoop()
+	for _, s := range n.shards {
+		go s.loop()
+	}
+}
+
 // ID returns the node's id.
 func (n *Node) ID() model.NodeID { return n.id }
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Served returns how many requests this node has served (snapshot read
-// through the event loop).
-func (n *Node) Served() int64 {
-	ch := make(chan int64, 1)
-	select {
-	case n.cmds <- func(n *Node) { ch <- n.served }:
-		return <-ch
-	case <-n.done:
-		return 0
-	}
-}
+// Served returns how many requests this node has served. Lock-free:
+// the pre-shard implementation read the counter through the event loop
+// and deadlocked forever when the node closed between enqueuing the
+// command and the loop running it (the reply read had no done arm).
+func (n *Node) Served() int64 { return n.served.Load() }
 
 // Stats snapshots the node's transport and protocol counters
 // (transport_dials, transport_reuses, transport_reconnects,
@@ -255,14 +271,22 @@ func (n *Node) Stats() map[string]int64 {
 	s := n.stats.Snapshot()
 	s["queue_depth"] = int64(n.tr.queueDepth())
 	s["queries_inflight"] = n.inflight.Load()
+	s["engine_shards"] = int64(len(n.shards))
+	s["served"] = n.served.Load()
 	for k, v := range n.gauges.Snapshot() {
 		s[k] = v
 	}
 	return s
 }
 
-// QueryLatency exposes the node's query-latency histogram (milliseconds,
-// completed queries only).
+// Shards reports how many engine shards this node runs.
+func (n *Node) Shards() int { return len(n.shards) }
+
+// QueryLatency exposes the node's query-latency histogram
+// (milliseconds). Every finished QueryContext observes it — successes,
+// timeouts, and cancellations alike; a timed-out query's wait is
+// response time the caller experienced too. Only admission rejections
+// and no-route failures (which never wait) stay out.
 func (n *Node) QueryLatency() *metrics.SyncHistogram { return n.latency }
 
 // BatchSizes exposes the transport's write-coalescing histogram: how
@@ -302,17 +326,45 @@ type NetHooks struct {
 	Dial func(from model.NodeID, addr string) (net.Conn, error)
 }
 
+// Options tunes a node's engine. The zero value takes every default.
+type Options struct {
+	// Shards is the engine shard count per node (the -shards flag in
+	// cmd/p2pnode); 0 means DefaultShards(), capped at 64.
+	Shards int
+}
+
+// DefaultShards is the engine shard count used when Options.Shards is
+// zero: GOMAXPROCS, floored at 2 so the cross-shard dispatch paths are
+// exercised even on a single-core box, capped at 64 (the query-id
+// encoding space).
+func DefaultShards() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		p = 2
+	}
+	if p > maxShards {
+		p = maxShards
+	}
+	return p
+}
+
 // Launch starts one TCP peer per instance node on loopback ports, primes
 // metadata exactly like the simulated overlay's bootstrap (full DCRT,
 // ring-plus-chords NRT per cluster, remote contacts), and returns the
 // running cluster. Close it when done.
 func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64) (*Cluster, error) {
-	return LaunchWithHooks(inst, assign, place, seed, NetHooks{})
+	return LaunchWithOptions(inst, assign, place, seed, NetHooks{}, Options{})
 }
 
 // LaunchWithHooks is Launch with an injectable network layer (fault
 // middleware, alternative listeners). Production callers use Launch.
 func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks) (*Cluster, error) {
+	return LaunchWithOptions(inst, assign, place, seed, hooks, Options{})
+}
+
+// LaunchWithOptions is LaunchWithHooks with engine options (shard
+// count).
+func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks, opts Options) (*Cluster, error) {
 	if len(assign) != len(inst.Catalog.Cats) {
 		return nil, fmt.Errorf("livenet: assignment covers %d of %d categories",
 			len(assign), len(inst.Catalog.Cats))
@@ -337,7 +389,7 @@ func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *repl
 			c.Close()
 			return nil, fmt.Errorf("livenet: listen: %w", err)
 		}
-		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k))
+		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k), opts.Shards)
 		if hooks.Dial != nil {
 			from := n.id
 			n.tr.setDial(func(addr string) (net.Conn, error) { return hooks.Dial(from, addr) })
@@ -408,9 +460,7 @@ func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *repl
 	}
 
 	for _, n := range c.Nodes {
-		n.wg.Add(2)
-		go n.acceptLoop()
-		go n.eventLoop()
+		n.startLoops()
 	}
 	return c, nil
 }
@@ -572,9 +622,7 @@ func (n *Node) wireReadLoop(conn net.Conn, r *wire.Reader) {
 		if err != nil {
 			return // stream closed, peer died, corrupt frame, or idle timeout
 		}
-		select {
-		case n.inbox <- env:
-		case <-n.done:
+		if !n.routeInbound(env) {
 			return
 		}
 	}
@@ -588,84 +636,66 @@ func (n *Node) gobReadLoop(conn net.Conn, br *bufio.Reader) {
 		if err := dec.Decode(&env); err != nil {
 			return // stream closed, peer died, or idle timeout
 		}
-		select {
-		case n.inbox <- env:
-		case <-n.done:
+		if !n.routeInbound(env) {
 			return
 		}
 	}
 }
 
-// eventLoop owns the node state. A housekeeping tick bounds the seen set
-// and expires orphaned pending queries.
-func (n *Node) eventLoop() {
+// routeInbound dispatches one decoded envelope from a connection reader
+// to its owner: query and result frames go straight to the shard that
+// owns their query id (no global funnel in the hot path); everything
+// else — publish, join, membership, adaptation — rides the control
+// inbox. Returns false when the node shut down.
+func (n *Node) routeInbound(env envelope) bool {
+	target := n.inbox
+	switch m := env.Msg.(type) {
+	case overlay.QueryMsg:
+		target = n.shardFor(m.ID).inbox
+	case overlay.ResultMsg:
+		target = n.shardFor(m.ID).inbox
+	}
+	select {
+	case target <- env:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// controlLoop owns the node's low-rate state: membership, adaptation,
+// the address book, and the routing tables. It holds routeMu.Lock for
+// each event it processes — it is the sole writer of that state, and
+// the engine shards read it under RLock. It must never block on a shard
+// channel while holding the lock (a shard may be waiting for RLock);
+// the only control→shard handoff, stray frames, is non-blocking.
+func (n *Node) controlLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(sweepInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case env := <-n.inbox:
-			n.dispatch(env)
+			n.routeMu.Lock()
+			n.dispatchControl(env)
+			n.routeMu.Unlock()
 		case cmd := <-n.cmds:
+			n.routeMu.Lock()
 			cmd(n)
-		case <-ticker.C:
-			n.sweep(time.Now())
+			n.routeMu.Unlock()
 		case <-n.done:
 			return
 		}
 	}
 }
 
-// sweep rotates the seen-set generations (entries survive one to two
-// intervals — long enough for loop detection, bounded forever after) and
-// advances every pending query's state machine: entries whose deadline
-// passed deliver their partial outcome and free their slot, and queries
-// that have received nothing re-send to another serving-cluster member
-// (the entry message was probably lost; the id was never flooded, so
-// dedup does not suppress the retry).
-func (n *Node) sweep(now time.Time) {
-	n.seenPrev = n.seenCur
-	n.seenCur = make(map[uint64]struct{})
-	for _, pq := range n.pending {
-		if now.After(pq.deadline) {
-			n.finishPending(pq, false)
-			n.stats.Add("pending_expired", 1)
-			continue
-		}
-		if pq.received == 0 && pq.resends < maxResends && now.Sub(pq.lastSend) > resendAfter {
-			if len(pq.entry) == 0 {
-				// Every original target was evicted (membership declared
-				// them dead); rebuild the target list from the current
-				// routing tables before giving up.
-				n.refillEntry(pq)
-				if len(pq.entry) == 0 {
-					continue
-				}
-			}
-			pq.resends++
-			pq.lastSend = now
-			n.stats.Add("query_resends", 1)
-			n.sendQuery(pq)
-		}
-	}
-}
-
-func (n *Node) seenBefore(id uint64) bool {
-	if _, ok := n.seenCur[id]; ok {
-		return true
-	}
-	_, ok := n.seenPrev[id]
-	return ok
-}
-
-func (n *Node) markSeen(id uint64) { n.seenCur[id] = struct{}{} }
-
-func (n *Node) dispatch(env envelope) {
+func (n *Node) dispatchControl(env envelope) {
 	switch m := env.Msg.(type) {
 	case overlay.QueryMsg:
-		n.handleQuery(m)
+		// Query traffic is dispatched to shards by the readers; a stray
+		// frame here (injected through the control inbox) is forwarded
+		// non-blockingly — control must not wait on a shard channel.
+		n.shardFor(m.ID).offer(env)
 	case overlay.ResultMsg:
-		n.handleResult(m)
+		n.shardFor(m.ID).offer(env)
 	case overlay.PublishMsg:
 		n.handlePublish(env.From, m)
 	case overlay.PublishAckMsg:
@@ -705,8 +735,9 @@ func (n *Node) dispatch(env envelope) {
 
 // send queues one envelope on the persistent transport (fire and forget —
 // P2P messages are best-effort, exactly as in the simulator; the
-// transport retries and reconnects under the hood). Must be called from
-// the event loop: it reads the address book.
+// transport retries and reconnects under the hood). The caller must
+// hold routeMu in either mode: it reads the address book. The control
+// loop holds the write lock for every event; shards take RLock.
 func (n *Node) send(to model.NodeID, msg any) {
 	addr, ok := n.book[to]
 	if !ok {
@@ -732,66 +763,6 @@ var (
 	// ErrOverloaded reports a query rejected by admission control.
 	ErrOverloaded = query.ErrOverloaded
 )
-
-// handleQuery mirrors the simulated overlay's §3.3 target-node logic. A
-// query for a category this node has no DCRT entry for is dropped (and
-// counted) instead of being misrouted into cluster 0.
-func (n *Node) handleQuery(m overlay.QueryMsg) {
-	if n.seenBefore(m.ID) {
-		return
-	}
-	n.markSeen(m.ID)
-	entry, ok := n.dcrt[m.Category]
-	if !ok {
-		n.stats.Add("drop_no_route", 1)
-		return
-	}
-	if m.Entry {
-		// §6.1.2 monitoring: count the request once per cluster entry, so
-		// the adaptation layer measures category demand, not flood width.
-		n.hits[m.Category]++
-	}
-	var matches []catalog.DocID
-	for _, d := range n.byCat[m.Category] {
-		matches = append(matches, d)
-		if len(matches) == m.Want {
-			break
-		}
-	}
-	if len(matches) > 0 {
-		n.served++
-		n.send(m.Origin, overlay.ResultMsg{
-			ID: m.ID, Docs: matches, Hops: m.Hops, From: n.id,
-		})
-	}
-	if remaining := m.Want - len(matches); remaining > 0 {
-		for _, nb := range n.nrt[entry.Cluster] {
-			n.send(nb, overlay.QueryMsg{
-				ID: m.ID, Category: m.Category, Want: remaining,
-				Origin: m.Origin, Hops: m.Hops + 1,
-			})
-		}
-	}
-}
-
-func (n *Node) handleResult(m overlay.ResultMsg) {
-	pq, ok := n.pending[m.ID]
-	if !ok {
-		return
-	}
-	pq.received++
-	for _, d := range m.Docs {
-		pq.docs[d] = true
-	}
-	if m.Hops > pq.hops {
-		pq.hops = m.Hops
-	}
-	if len(pq.docs) >= pq.want {
-		// Report the farthest contributing result, not whichever message
-		// happened to complete the set.
-		n.finishPending(pq, true)
-	}
-}
 
 // Publish announces a (locally stored) document to the cluster serving
 // its category — the §6.2 protocol over TCP. Publishing a category with
@@ -827,7 +798,14 @@ func (n *Node) Publish(d catalog.DocID) error {
 	case err := <-errc:
 		return err
 	case <-n.done:
-		return ErrClosed
+		// The control loop may have run the command just before shutting
+		// down; prefer its answer when present.
+		select {
+		case err := <-errc:
+			return err
+		default:
+			return ErrClosed
+		}
 	}
 }
 

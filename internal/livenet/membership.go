@@ -1,16 +1,18 @@
 package livenet
 
 // Live membership: the SWIM-lite failure detector (internal/membership)
-// wired into the event loop. The detector is a pure state machine — this
-// file owns its clock (a probe goroutine funneling ticks through the
-// command channel, so all detector access is event-loop-serialized), its
-// network (packets ride the persistent transport like every other
-// envelope), and the consequences of its verdicts: a peer confirmed
-// Dead or Left is evicted from the address book, every NRT entry, and
-// every pending query's resend-target list, and remembered by tombstone
-// so a stale address-book merge cannot resurrect it. Tombstones travel
-// inside book messages (wire.Book.Dead), closing the loop for nodes
-// that were partitioned while the death was gossiped.
+// wired into the control loop. The detector is a pure state machine —
+// this file owns its clock (a probe goroutine funneling ticks through
+// the command channel, so all detector access is control-loop
+// serialized), its network (packets ride the persistent transport like
+// every other envelope), and the consequences of its verdicts: a peer
+// confirmed Dead or Left is evicted from the address book and every NRT
+// entry, and remembered by tombstone so a stale address-book merge
+// cannot resurrect it. In-flight queries' resend-target lists are NOT
+// chased here — they live on the engine shards, which reconcile against
+// the book lazily in their sweep (refillEntry) just before resending.
+// Tombstones travel inside book messages (wire.Book.Dead), closing the
+// loop for nodes that were partitioned while the death was gossiped.
 
 import (
 	"time"
@@ -39,6 +41,8 @@ func (n *Node) StartMembership(cfg membership.Config) {
 		select {
 		case <-started:
 		case <-n.done:
+			// The control loop may have run the command just before
+			// shutting down; either way there is nothing left to wait for.
 		}
 	case <-n.done:
 	}
@@ -150,24 +154,18 @@ func (n *Node) drainMembership() {
 }
 
 // evictDeadPeer removes a confirmed-dead (or gracefully departed) peer
-// from every routing structure: address book, NRTs, and the resend
-// target lists of in-flight queries. The tombstone stays behind in the
-// detector so book merges cannot resurrect the entry.
+// from the routing structures the control loop owns: address book and
+// NRTs. In-flight queries' resend-target lists are pruned lazily by the
+// owning shard's sweep (refillEntry drops book-absent members before a
+// resend), so no cross-shard broadcast is needed here. The tombstone
+// stays behind in the detector so book merges cannot resurrect the
+// entry.
 func (n *Node) evictDeadPeer(peer model.NodeID) {
 	if _, ok := n.book[peer]; ok {
 		delete(n.book, peer)
 		n.stats.Add("book_evictions", 1)
 	}
 	n.evictPeer(peer)
-	for _, pq := range n.pending {
-		kept := pq.entry[:0]
-		for _, m := range pq.entry {
-			if m != peer {
-				kept = append(kept, m)
-			}
-		}
-		pq.entry = kept
-	}
 	n.stats.Add("membership_evictions", 1)
 }
 
@@ -190,7 +188,14 @@ func (n *Node) MembershipCounts() (alive, suspect int) {
 		case c := <-ch:
 			return c.a, c.s
 		case <-n.done:
-			return 0, 0
+			// The control loop may have answered just before shutting
+			// down; prefer the real counts when present.
+			select {
+			case c := <-ch:
+				return c.a, c.s
+			default:
+				return 0, 0
+			}
 		}
 	case <-n.done:
 		return 0, 0
@@ -223,6 +228,13 @@ func (n *Node) Leave() {
 				time.Sleep(leaveFlushGrace)
 			}
 		case <-n.done:
+			select {
+			case sent := <-queued:
+				if sent {
+					time.Sleep(leaveFlushGrace)
+				}
+			default:
+			}
 		}
 	case <-n.done:
 	}

@@ -8,13 +8,14 @@ import (
 	"testing"
 	"time"
 
+	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 )
 
-// runCmd executes f inside the node's event loop and waits for it.
+// runCmd executes f inside the node's control loop and waits for it.
 func runCmd(t *testing.T, n *Node, f func(*Node)) {
 	t.Helper()
 	done := make(chan struct{})
@@ -26,12 +27,33 @@ func runCmd(t *testing.T, n *Node, f func(*Node)) {
 	}
 }
 
+// runShard executes f inside one engine shard's loop and waits for it.
+func runShard(t *testing.T, s *engineShard, f func(*engineShard)) {
+	t.Helper()
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func(s *engineShard) { f(s); close(done) }:
+		<-done
+	case <-s.n.done:
+		t.Fatal("node closed before shard command ran")
+	}
+}
+
 // TestTransportReusesConnections is the acceptance check: under a
 // multi-query workload, messages reuse persistent streams — dials per
 // sent message come out well below one.
 func TestTransportReusesConnections(t *testing.T) {
 	c, inst := launchSmall(t, 11)
 	cat := bigCategory(inst)
+	// Disable the requester cache so every query exercises the transport;
+	// with caching on, repeat queries are answered locally and the
+	// handful of networked ones make stream reuse a coin flip of random
+	// target picks.
+	for _, n := range c.Nodes {
+		if err := n.SetCacheCapacity(cache.LRU, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
 	const queries = 60
 	start := time.Now()
 	for i := 0; i < queries; i++ {
@@ -293,22 +315,23 @@ func TestSeenMapBounded(t *testing.T) {
 	c, _ := launchSmall(t, 15)
 	n := c.Nodes[0]
 	const ids = 5000
-	runCmd(t, n, func(n *Node) {
+	sh := n.shards[0]
+	runShard(t, sh, func(s *engineShard) {
 		for i := 0; i < ids; i++ {
-			n.markSeen(uint64(1_000_000 + i))
+			s.markSeen(uint64(1_000_000 + i))
 		}
 	})
-	runCmd(t, n, func(n *Node) {
-		if len(n.seenCur)+len(n.seenPrev) < ids {
-			t.Errorf("seen set lost fresh entries: %d", len(n.seenCur)+len(n.seenPrev))
+	runShard(t, sh, func(s *engineShard) {
+		if len(s.seenCur)+len(s.seenPrev) < ids {
+			t.Errorf("seen set lost fresh entries: %d", len(s.seenCur)+len(s.seenPrev))
 		}
-		n.sweep(time.Now())
+		s.sweep(time.Now())
 		// One generation old: still deduplicating.
-		if !n.seenBefore(1_000_000) {
+		if !s.seenBefore(1_000_000) {
 			t.Error("entry forgotten after one sweep")
 		}
-		n.sweep(time.Now())
-		if got := len(n.seenCur) + len(n.seenPrev); got != 0 {
+		s.sweep(time.Now())
+		if got := len(s.seenCur) + len(s.seenPrev); got != 0 {
 			t.Errorf("seen set holds %d entries after two sweeps, want 0", got)
 		}
 	})
@@ -320,8 +343,9 @@ func TestPendingExpirySweep(t *testing.T) {
 	c, _ := launchSmall(t, 16)
 	n := c.Nodes[0]
 	ch := make(chan QueryOutcome, 1)
-	runCmd(t, n, func(n *Node) {
-		n.pending[42] = &pendingQuery{
+	runShard(t, n.shardFor(42), func(s *engineShard) {
+		s.n.inflight.Add(1)
+		s.pending[42] = &pendingQuery{
 			id:       42,
 			want:     5,
 			docs:     map[catalog.DocID]bool{7: true},
@@ -329,8 +353,8 @@ func TestPendingExpirySweep(t *testing.T) {
 			ch:       ch,
 			deadline: time.Now().Add(-time.Second),
 		}
-		n.sweep(time.Now())
-		if _, still := n.pending[42]; still {
+		s.sweep(time.Now())
+		if _, still := s.pending[42]; still {
 			t.Error("expired pending query not removed")
 		}
 	})
@@ -365,8 +389,8 @@ func TestQueryNoRouteExplicit(t *testing.T) {
 
 	// Handler path: an inbound query for the unroutable category is
 	// dropped and counted, not forwarded to cluster 0.
-	runCmd(t, n, func(n *Node) {
-		n.handleQuery(overlay.QueryMsg{ID: 1 << 40, Category: cat, Want: 1, Origin: 5, Hops: 1})
+	runShard(t, n.shardFor(1<<40), func(s *engineShard) {
+		s.handleQuery(overlay.QueryMsg{ID: 1 << 40, Category: cat, Want: 1, Origin: 5, Hops: 1})
 	})
 	if n.stats.Get("drop_no_route") == 0 {
 		t.Error("drop_no_route not counted on handler path")
@@ -397,15 +421,17 @@ func TestHandleResultMaxHops(t *testing.T) {
 	c, _ := launchSmall(t, 18)
 	n := c.Nodes[0]
 	ch := make(chan QueryOutcome, 1)
-	runCmd(t, n, func(n *Node) {
-		n.pending[77] = &pendingQuery{
+	runShard(t, n.shardFor(77), func(s *engineShard) {
+		s.n.inflight.Add(1)
+		s.pending[77] = &pendingQuery{
+			id:       77,
 			want:     2,
 			docs:     make(map[catalog.DocID]bool),
 			ch:       ch,
 			deadline: time.Now().Add(time.Minute),
 		}
-		n.handleResult(overlay.ResultMsg{ID: 77, Docs: []catalog.DocID{1}, Hops: 5, From: 2})
-		n.handleResult(overlay.ResultMsg{ID: 77, Docs: []catalog.DocID{2}, Hops: 2, From: 3})
+		s.handleResult(overlay.ResultMsg{ID: 77, Docs: []catalog.DocID{1}, Hops: 5, From: 2})
+		s.handleResult(overlay.ResultMsg{ID: 77, Docs: []catalog.DocID{2}, Hops: 2, From: 3})
 	})
 	select {
 	case out := <-ch:

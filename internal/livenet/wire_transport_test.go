@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/overlay"
@@ -60,7 +61,16 @@ func TestMixedVersionInterop(t *testing.T) {
 	legacy.legacyGob.Store(true)
 	legacy.tr.forceGob.Store(true)
 
-	for i := 0; i < 12; i++ {
+	// Disable the requester cache so queries keep hitting the network;
+	// entry targets are picked at random, so run until one of them lands
+	// on the legacy node (12 queries minimum keeps the traffic volume of
+	// the original scenario).
+	for _, n := range c.Nodes {
+		if err := n.SetCacheCapacity(cache.LRU, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
 		origin := c.Nodes[i%len(c.Nodes)]
 		out, err := origin.Query(cat, 3, 5*time.Second)
 		if err != nil {
@@ -68,6 +78,9 @@ func TestMixedVersionInterop(t *testing.T) {
 		}
 		if !out.Done {
 			t.Fatalf("query %d incomplete: %+v", i, out)
+		}
+		if i >= 11 && legacy.Served() > 0 {
+			break
 		}
 	}
 	// The legacy node itself queries (outbound gob) and publishes.
