@@ -24,7 +24,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
 	"p2pshare/internal/livenet"
 )
@@ -58,16 +57,14 @@ func bench(shards, queries, workers int, seed int64) (run, error) {
 	if err != nil {
 		return run{}, err
 	}
-	c, err := livenet.LaunchWithOptions(inst, assign, place, seed, livenet.NetHooks{},
-		livenet.Options{Shards: shards})
+	// CacheBytes < 0: every query runs the full engine + transport path.
+	c, err := livenet.Launch(inst, assign, place,
+		livenet.Options{Seed: seed, Shards: shards, CacheBytes: -1})
 	if err != nil {
 		return run{}, err
 	}
 	defer c.Close()
 	n := c.Nodes[0]
-	if err := n.SetCacheCapacity(cache.LRU, 0); err != nil {
-		return run{}, err
-	}
 
 	// The busiest category keeps every query satisfiable with want=1.
 	var cat catalog.CategoryID

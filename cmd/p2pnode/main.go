@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof
 	"os"
@@ -40,8 +41,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/chaos"
 	"p2pshare/internal/livenet"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
@@ -190,6 +191,10 @@ func main() {
 	fairThresh := flag.Float64("fairness-threshold", 0.83, "fairness index below which the chosen leader rebalances")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	shards := flag.Int("shards", 0, "engine shards (parallel query loops; 0 = GOMAXPROCS, min 2, max 64)")
+	maxInFlight := flag.Int("maxinflight", 0, "admission bound on concurrently served queries (0 = default)")
+	harnessMode := flag.Bool("harness", false, "machine mode: speak the harness JSON protocol on stdin/stdout")
+	syncAddr := flag.String("sync", "", "harness barrier service address (machine mode)")
+	statsJSON := flag.Bool("stats-json", false, "print stats as one JSON line (harness schema) instead of text")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -205,8 +210,40 @@ func main() {
 		Documents: *docs, Categories: *cats, Nodes: *nodes,
 		Clusters: *clusters, Seed: *seed,
 	}
-	node, err := livenet.StartNodeWithOptions(shape, model.NodeID(*id), *listen, *bootstrap,
-		livenet.Options{Shards: *shards})
+	// The whole birth configuration is one Options struct; only runtime
+	// re-tuning still goes through setters.
+	opts := livenet.Options{
+		Shards:      *shards,
+		MaxInFlight: *maxInFlight,
+		CacheBytes:  *cacheMB << 20,
+	}
+	if *cacheMB == 0 {
+		opts.CacheBytes = -1 // historical flag meaning: 0 MB disables caching
+	}
+	if *adaptEvery > 0 {
+		opts.Adaptation = &livenet.AdaptConfig{
+			Interval:     *adaptEvery,
+			LowThreshold: *fairThresh,
+		}
+	}
+	// Machine mode runs every link through a chaos controller so the
+	// orchestrator can inject faults mid-act. Seeded per process: each
+	// node owns only its outbound links, so streams never overlap.
+	var cn *chaos.Net
+	if *harnessMode {
+		cn = chaos.New(*seed*1000003 + int64(*id))
+		opts.Hooks = livenet.NetHooks{
+			Listen: func(nid model.NodeID, addr string) (net.Listener, error) {
+				ln, err := net.Listen("tcp", addr)
+				if err == nil {
+					cn.Register(nid, ln.Addr().String())
+				}
+				return ln, err
+			},
+			Dial: cn.DialFrom,
+		}
+	}
+	node, err := livenet.StartNode(shape, model.NodeID(*id), *listen, *bootstrap, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p2pnode:", err)
 		os.Exit(1)
@@ -214,15 +251,17 @@ func main() {
 	// Leave (not just Close) on the way out: peers evict this node
 	// immediately instead of waiting out a suspicion timeout.
 	defer node.Leave()
-	if err := node.SetCacheCapacity(cache.LRU, *cacheMB<<20); err != nil {
-		fmt.Fprintln(os.Stderr, "p2pnode:", err)
-		os.Exit(1)
+
+	if *harnessMode {
+		if err := runMachine(node, cn, *syncAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "p2pnode: machine:", err)
+			node.Leave()
+			os.Exit(1)
+		}
+		return
 	}
+
 	if *adaptEvery > 0 {
-		node.EnableAdaptation(livenet.AdaptConfig{
-			Interval:     *adaptEvery,
-			LowThreshold: *fairThresh,
-		})
 		fmt.Printf("adaptation on: %v epochs, rebalance below fairness %.2f\n",
 			*adaptEvery, *fairThresh)
 	}
@@ -231,7 +270,11 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
-	defer printStats(node)
+	dump := printStats
+	if *statsJSON {
+		dump = printStatsJSON
+	}
+	defer dump(node)
 
 	if *loadgen {
 		if err := runLoadgen(node, *concurrency, *duration, *qtimeout, *m, *repeat, *seed, stop); err != nil {
@@ -253,7 +296,7 @@ func main() {
 		for {
 			select {
 			case <-statsTick:
-				printStats(node)
+				dump(node)
 			case <-stop:
 				return
 			}
@@ -273,7 +316,7 @@ func main() {
 			}
 			fmt.Printf("query category %d: %d results in %d hop(s)\n", cat, len(out.Docs), out.Hops)
 		case <-statsTick:
-			printStats(node)
+			dump(node)
 		case <-stop:
 			return
 		}

@@ -44,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cluster, err := livenet.Launch(inst, res.Assignment, place, 1)
+	cluster, err := livenet.Launch(inst, res.Assignment, place, livenet.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

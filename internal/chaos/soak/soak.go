@@ -300,21 +300,24 @@ func RunScenario(sc Scenario, cfg Config) (Report, error) {
 		},
 		Dial: cn.DialFrom,
 	}
-	c, err := livenet.LaunchWithHooks(inst, res.Assignment, place, cfg.Seed, hooks)
-	if err != nil {
-		return Report{}, fmt.Errorf("launch: %w", err)
+	opts := livenet.Options{
+		Seed:       cfg.Seed,
+		Hooks:      hooks,
+		Membership: &membership.Config{},
 	}
-	defer c.Close()
-
-	c.StartMembership(membership.Config{})
 	if sc.Adapt {
-		c.EnableAdaptation(livenet.AdaptConfig{
+		opts.Adaptation = &livenet.AdaptConfig{
 			Interval:       900 * time.Millisecond,
 			LowThreshold:   0.9,
 			TargetFairness: 0.95,
 			MaxMoves:       8,
-		})
+		}
 	}
+	c, err := livenet.Launch(inst, res.Assignment, place, opts)
+	if err != nil {
+		return Report{}, fmt.Errorf("launch: %w", err)
+	}
+	defer c.Close()
 
 	r := &Run{
 		Cluster: c,

@@ -1,0 +1,142 @@
+// Package proto defines the machine protocol between the scenario
+// harness (internal/harness) and a p2pnode process running in machine
+// mode (p2pnode -harness): newline-delimited JSON, commands on the
+// node's stdin, responses on its stdout. The exchange is strictly FIFO —
+// the node's command loop handles one command at a time and every
+// command gets exactly one response — with a single exception: the very
+// first stdout line is an unsolicited Ready announcement carrying the
+// node's bound listen address, which the orchestrator needs before it
+// can bootstrap the rest of the deployment.
+//
+// The same structures double as the p2pnode -stats-json output format,
+// so scripts scraping a non-harness node parse the identical schema.
+package proto
+
+// Op names. A response echoes the op of the command it answers.
+const (
+	OpReady = "ready" // unsolicited first line of a machine-mode node
+	OpLoad  = "load"  // start a workload run in the background
+	OpWait  = "wait"  // block until the running load finishes; returns its report
+	OpStats = "stats" // snapshot the node's counters and latency percentiles
+	OpChaos = "chaos" // apply (or clear) a fault profile on this node's links
+	OpQuery = "query" // issue one probe query
+	OpQuit  = "quit"  // leave the deployment and exit 0
+)
+
+// Command is one orchestrator→node instruction.
+type Command struct {
+	Op    string     `json:"op"`
+	Load  *LoadSpec  `json:"load,omitempty"`
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	Query *QuerySpec `json:"query,omitempty"`
+}
+
+// Response is one node→orchestrator answer.
+type Response struct {
+	Op    string       `json:"op"`
+	OK    bool         `json:"ok"`
+	Err   string       `json:"err,omitempty"`
+	Ready *ReadyInfo   `json:"ready,omitempty"`
+	Load  *LoadReport  `json:"load,omitempty"`
+	Stats *StatsReport `json:"stats,omitempty"`
+}
+
+// ReadyInfo is the payload of the unsolicited first line.
+type ReadyInfo struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr"`
+	Peers int    `json:"peers"`
+}
+
+// LoadSpec parameterizes one act's workload on one node. Counts, not
+// durations, size the run: a plan that asks every node for Q queries
+// produces the same traffic volume on a fast and a slow machine, which
+// keeps count-derived data points comparable across runs.
+type LoadSpec struct {
+	// Queries is how many queries this node must issue in total.
+	Queries int `json:"queries"`
+	// Concurrency is how many worker goroutines issue them.
+	Concurrency int `json:"concurrency"`
+	// M asks for this many distinct documents per query.
+	M int `json:"m"`
+	// ZipfS, when > 0, replaces catalog-popularity sampling with a
+	// rank-based Zipf of this exponent (workload.NewZipfGenerator).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Repeat re-issues a recent query with this probability.
+	Repeat float64 `json:"repeat,omitempty"`
+	// HotCategory (≥ 0) redirects HotFraction of the queries to one
+	// category — the flash-crowd skew. -1 disables.
+	HotCategory int     `json:"hot_category"`
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// IntervalMS paces each worker: mean exponential think time between
+	// queries (0 = issue back to back). Pacing stretches an act across
+	// adaptation epochs so convergence is observable.
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// TimeoutMS bounds each query.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Seed makes the node's workload stream deterministic.
+	Seed int64 `json:"seed"`
+}
+
+// LoadReport is the outcome of one finished LoadSpec.
+type LoadReport struct {
+	Issued   int     `json:"issued"`
+	OK       int     `json:"ok"`
+	Timeouts int     `json:"timeouts"`
+	Rejected int     `json:"rejected"`
+	NoRoute  int     `json:"no_route"`
+	Failed   int     `json:"failed"`
+	Seconds  float64 `json:"seconds"`
+	// LatencyMS lists the response time of every successful query (the
+	// orchestrator merges samples across nodes, so cluster-wide
+	// percentiles are exact, not averages of averages). Downsampled
+	// deterministically past MaxLatencySamples.
+	LatencyMS []float64 `json:"latency_ms"`
+}
+
+// MaxLatencySamples bounds one report's sample payload; a longer run is
+// downsampled every-kth so the report stays a few hundred KB at worst.
+const MaxLatencySamples = 20000
+
+// ChaosSpec is a blanket fault profile for the node's outbound links
+// (applied through internal/chaos as the default on every link).
+type ChaosSpec struct {
+	// Clear removes all faults instead of applying the profile.
+	Clear bool `json:"clear,omitempty"`
+	// Drop/Corrupt/Duplicate are per-write probabilities in [0,1).
+	Drop      float64 `json:"drop,omitempty"`
+	Corrupt   float64 `json:"corrupt,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+	// DelayMS adds fixed latency per write; JitterMS adds uniform extra.
+	DelayMS  int `json:"delay_ms,omitempty"`
+	JitterMS int `json:"jitter_ms,omitempty"`
+}
+
+// QuerySpec is one probe query.
+type QuerySpec struct {
+	Category  int `json:"category"`
+	M         int `json:"m"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// StatsReport snapshots one node: raw counters plus the derived
+// readings scripts always end up wanting (percentiles, fairness,
+// membership). Counters is Node.Stats() verbatim.
+type StatsReport struct {
+	NodeID   int              `json:"node_id"`
+	Counters map[string]int64 `json:"counters"`
+	// Latency percentiles of the node's lifetime query latency
+	// histogram, in milliseconds.
+	LatCount int     `json:"lat_count"`
+	LatP50   float64 `json:"lat_p50_ms"`
+	LatP95   float64 `json:"lat_p95_ms"`
+	LatP99   float64 `json:"lat_p99_ms"`
+	// FairnessX1000 is the node's last measured fairness index in
+	// thousandths; -1 when this node has not evaluated an epoch.
+	FairnessX1000 int64 `json:"fairness_x1000"`
+	MembersAlive  int   `json:"members_alive"`
+	MembersSusp   int   `json:"members_suspect"`
+	// LoadRunning reports an OpLoad still in flight — the orchestrator's
+	// convergence poll uses it to stop polling once an act's load drains.
+	LoadRunning bool `json:"load_running,omitempty"`
+}

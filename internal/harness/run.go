@@ -1,0 +1,500 @@
+// The orchestrator: runs one Plan end to end against a fleet of real
+// p2pnode processes — build, spawn, warm-up barrier, act sequence with
+// churn/chaos/convergence tracking, stats scraping, and the BENCH
+// artifact. Latency percentiles are computed from the merged raw
+// samples of every node (exact cluster-wide quantiles, never averages
+// of per-node averages).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"p2pshare/internal/chaos/soak"
+	"p2pshare/internal/fairness"
+	"p2pshare/internal/harness/proto"
+	"p2pshare/internal/metrics"
+)
+
+// RunConfig tunes one Run invocation (not the plan itself).
+type RunConfig struct {
+	// Out receives progress lines; nil discards them.
+	Out io.Writer
+	// Seed overrides the plan's seed when non-zero (replay knob).
+	Seed int64
+	// SpawnTimeout bounds each process launch (build excluded).
+	SpawnTimeout time.Duration
+	// ActTimeout bounds each act's wait phase per node.
+	ActTimeout time.Duration
+	// BinDir, when set, reuses a prebuilt p2pnode binary directory.
+	BinDir string
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.SpawnTimeout <= 0 {
+		c.SpawnTimeout = 30 * time.Second
+	}
+	if c.ActTimeout <= 0 {
+		c.ActTimeout = 3 * time.Minute
+	}
+	return c
+}
+
+// Run executes one plan and returns its Result. Soak-bridge plans
+// (Plan.Soak set) run the scripted chaos scenario in-process; all
+// others drive the multi-process orchestration.
+func Run(p Plan, cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Seed != 0 {
+		p.Seed = cfg.Seed
+	}
+	if p.Soak != "" {
+		return runSoakPlan(p, cfg)
+	}
+	return runProcessPlan(p, cfg)
+}
+
+// runSoakPlan bridges a plan to internal/chaos/soak: the scenario's
+// invariant checking is the point; the report becomes the Result.
+func runSoakPlan(p Plan, cfg RunConfig) (Result, error) {
+	sc, err := soak.Lookup(p.Soak)
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(cfg.Out, "plan %s: soak scenario %s (seed %d)\n", p.Name, sc.Name, p.Seed)
+	rep, err := soak.RunScenario(sc, soak.Config{
+		Seed: p.Seed, Nodes: p.Nodes, Clusters: p.Clusters,
+		Docs: p.Docs, Cats: p.Cats, Out: cfg.Out,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Plan: p.Name, Overview: p.Overview, Seed: p.Seed, Nodes: p.Nodes,
+		Optimized: p.Optimized,
+		Seconds:   rep.Elapsed.Seconds(),
+		Totals: map[string]float64{
+			"queries":        float64(rep.Queries),
+			"ok":             float64(rep.Succeeded),
+			"violations":     float64(len(rep.Violations)),
+			"probe_ok_rate":  rate(rep.ProbeOK, rep.ProbeTotal),
+			"success_rate":   rate(rep.Succeeded, rep.Queries),
+			"nodes_launched": float64(p.Nodes),
+		},
+	}
+	if len(rep.Violations) > 0 {
+		return res, fmt.Errorf("plan %s: %d invariant violations (seed %d): %v",
+			p.Name, len(rep.Violations), rep.Seed, rep.Violations)
+	}
+	return res, nil
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// scrape pulls a stats snapshot from every live node.
+func scrape(live []*NodeProc, timeout time.Duration) (map[int]*proto.StatsReport, error) {
+	out := make(map[int]*proto.StatsReport, len(live))
+	for _, np := range live {
+		rsp, err := np.Call(proto.Command{Op: proto.OpStats}, timeout)
+		if err != nil {
+			return nil, err
+		}
+		out[np.ID] = rsp.Stats
+	}
+	return out, nil
+}
+
+// counterDelta sums a counter across nodes in `cur` minus the same sum
+// in `prev` (nodes missing from prev — restarts — count from zero).
+func counterDelta(prev, cur map[int]*proto.StatsReport, key string) float64 {
+	var d int64
+	for id, s := range cur {
+		d += s.Counters[key]
+		if ps, ok := prev[id]; ok {
+			d -= ps.Counters[key]
+		}
+	}
+	return float64(d)
+}
+
+// maxFairness is the fleet's best fairness reading (only the current
+// leader of an epoch evaluates; everyone else reports -1).
+func maxFairness(stats map[int]*proto.StatsReport) int64 {
+	best := int64(-1)
+	for _, s := range stats {
+		if s.FairnessX1000 > best {
+			best = s.FairnessX1000
+		}
+	}
+	return best
+}
+
+func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
+	start := time.Now()
+	binDir := cfg.BinDir
+	if binDir == "" {
+		dir, err := os.MkdirTemp("", "harness-*")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(dir)
+		binDir = dir
+	}
+	fmt.Fprintf(cfg.Out, "plan %s: building p2pnode...\n", p.Name)
+	bin, err := BuildNodeBinary(binDir)
+	if err != nil {
+		return Result{}, err
+	}
+
+	sync, err := NewSyncServer()
+	if err != nil {
+		return Result{}, err
+	}
+	defer sync.Close()
+
+	r := &Runner{Bin: bin, SyncAddr: sync.Addr()}
+	defer r.KillAll()
+
+	// The seed process first (its address bootstraps everyone else),
+	// then the rest concurrently.
+	fmt.Fprintf(cfg.Out, "plan %s: launching %d node processes...\n", p.Name, p.Nodes)
+	seedProc, err := r.Spawn(0, "", p, cfg.SpawnTimeout)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Procs = append(r.Procs, seedProc)
+	type spawned struct {
+		np  *NodeProc
+		err error
+	}
+	ch := make(chan spawned, p.Nodes-1)
+	for id := 1; id < p.Nodes; id++ {
+		go func(id int) {
+			np, err := r.Spawn(id, seedProc.Addr, p, cfg.SpawnTimeout)
+			ch <- spawned{np, err}
+		}(id)
+	}
+	for i := 1; i < p.Nodes; i++ {
+		s := <-ch
+		if s.err != nil {
+			for j := 0; i+j < p.Nodes-1; j++ {
+				if late := <-ch; late.np != nil {
+					late.np.Kill()
+				}
+			}
+			return Result{}, s.err
+		}
+		r.Procs = append(r.Procs, s.np)
+	}
+	sort.Slice(r.Procs, func(i, j int) bool { return r.Procs[i].ID < r.Procs[j].ID })
+
+	// Everyone (including the seed) enters the warm-up barrier after
+	// announcing; release it only when the full fleet is present.
+	if err := SyncAwait(sync.Addr(), "warmup", p.Nodes, cfg.SpawnTimeout); err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(cfg.Out, "plan %s: fleet up, warm-up barrier cleared\n", p.Name)
+
+	// Uncounted warm-up load: primes connections, caches, and the
+	// adaptation monitors; its data points are discarded.
+	warm := p.Warmup
+	if warm <= 0 {
+		warm = 20
+	}
+	warmSpec := proto.LoadSpec{
+		Queries: warm, Concurrency: 4, M: 2, HotCategory: -1,
+		TimeoutMS: 5000, Seed: p.Seed + 1,
+	}
+	if err := loadAll(r.Live(), warmSpec, p.Seed, cfg.ActTimeout); err != nil {
+		return Result{}, fmt.Errorf("warm-up: %w", err)
+	}
+
+	prev, err := scrape(r.Live(), 30*time.Second)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Plan: p.Name, Overview: p.Overview, Seed: p.Seed, Nodes: p.Nodes,
+		Optimized: p.Optimized,
+		Totals:    map[string]float64{"nodes_launched": float64(p.Nodes)},
+	}
+	allLat := &metrics.SyncHistogram{}
+	var totQ, totOK, totErr float64
+	var totLoadSec float64
+	convergeBest := -1.0
+
+	target := p.ConvergeTarget
+	if target == 0 && p.FairnessThreshold > 0 {
+		target = int64(p.FairnessThreshold * 1000)
+	}
+
+	for ai, act := range p.Acts {
+		am, lat, convergeS, err := runAct(r, p, act, target, prev, cfg)
+		if err != nil {
+			return res, fmt.Errorf("act %q: %w", act.Name, err)
+		}
+		res.Acts = append(res.Acts, ActResult{Name: act.Name, Metrics: am})
+		for _, v := range lat {
+			allLat.Observe(v)
+		}
+		totQ += am["queries"]
+		totOK += am["ok"]
+		totErr += am["errors"]
+		totLoadSec += am["seconds"]
+		if act.TrackConvergence && convergeS >= 0 {
+			if convergeBest < 0 || convergeS < convergeBest {
+				convergeBest = convergeS
+			}
+		}
+		// The next act's deltas start from this act's end state.
+		prev, err = scrape(r.Live(), 30*time.Second)
+		if err != nil {
+			return res, err
+		}
+		fmt.Fprintf(cfg.Out, "plan %s: act %d/%d %q: %d queries, p95 %.1fms\n",
+			p.Name, ai+1, len(p.Acts), act.Name, int(am["queries"]), am["p95_ms"])
+	}
+
+	// Run-level totals from the final fleet state.
+	final, err := scrape(r.Live(), 30*time.Second)
+	if err != nil {
+		return res, err
+	}
+	var served []float64
+	var wireIn, wireOut, hits, misses float64
+	for _, s := range final {
+		served = append(served, float64(s.Counters["served"]))
+		wireIn += float64(s.Counters["wire_bytes_in"])
+		wireOut += float64(s.Counters["wire_bytes_out"])
+		hits += float64(s.Counters["cache_hit"])
+		misses += float64(s.Counters["cache_miss"])
+	}
+	res.Totals["queries"] = totQ
+	res.Totals["ok"] = totOK
+	res.Totals["errors"] = totErr
+	if totQ > 0 {
+		res.Totals["error_rate"] = totErr / totQ
+	}
+	if totLoadSec > 0 {
+		res.Totals["qps"] = totQ / totLoadSec
+	}
+	if allLat.Count() > 0 {
+		res.Totals["p50_ms"] = allLat.Quantile(0.5)
+		res.Totals["p95_ms"] = allLat.Quantile(0.95)
+		res.Totals["p99_ms"] = allLat.Quantile(0.99)
+	}
+	res.Totals["fairness_jain_served"] = fairness.Jain(served)
+	res.Totals["wire_bytes_in"] = wireIn
+	res.Totals["wire_bytes_out"] = wireOut
+	if totQ > 0 {
+		res.Totals["wire_bytes_per_query"] = (wireIn + wireOut) / totQ
+	}
+	if hits+misses > 0 {
+		res.Totals["cache_hit_rate"] = hits / (hits + misses)
+	}
+	res.Totals["adapt_convergence_s"] = convergeBest
+
+	// Clean shutdown; a node that wedged on quit is killed by KillAll.
+	for _, np := range r.Live() {
+		np.Quit(10 * time.Second)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// loadAll starts the same load shape on every node (per-node seeds) and
+// waits for all reports; used for the uncounted warm-up.
+func loadAll(live []*NodeProc, spec proto.LoadSpec, seedBase int64, timeout time.Duration) error {
+	for _, np := range live {
+		s := spec
+		s.Seed = seedBase + int64(np.ID)*101
+		if _, err := np.Call(proto.Command{Op: proto.OpLoad, Load: &s}, 30*time.Second); err != nil {
+			return err
+		}
+	}
+	for _, np := range live {
+		if _, err := np.Call(proto.Command{Op: proto.OpWait}, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAct drives one act: churn, chaos, load on every live node, the
+// convergence watch, then the merged data points. Returns the act's
+// metrics, the raw latency samples (for run-level percentiles), and the
+// convergence seconds (-1 = not tracked / not reached).
+func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsReport, cfg RunConfig) (map[string]float64, []float64, float64, error) {
+	// Churn first: kills are abrupt (the point), restarts re-announce.
+	for _, id := range act.KillNodes {
+		if id >= 0 && id < len(r.Procs) && r.Procs[id].Alive {
+			fmt.Fprintf(cfg.Out, "  act %s: killing node %d\n", act.Name, id)
+			r.Procs[id].Kill()
+		}
+	}
+	for _, id := range act.RestartNodes {
+		if id >= 0 && id < len(r.Procs) && !r.Procs[id].Alive {
+			boot := ""
+			for _, np := range r.Live() {
+				boot = np.Addr
+				break
+			}
+			fmt.Fprintf(cfg.Out, "  act %s: restarting node %d\n", act.Name, id)
+			if err := r.Procs[id].Restart(r.Bin, boot, cfg.SpawnTimeout); err != nil {
+				return nil, nil, -1, err
+			}
+		}
+	}
+	live := r.Live()
+	if len(live) == 0 {
+		return nil, nil, -1, fmt.Errorf("no live nodes")
+	}
+
+	chaosTargets := live
+	if len(act.ChaosNodes) > 0 {
+		chaosTargets = nil
+		for _, id := range act.ChaosNodes {
+			if id >= 0 && id < len(r.Procs) && r.Procs[id].Alive {
+				chaosTargets = append(chaosTargets, r.Procs[id])
+			}
+		}
+	}
+	if act.Chaos != nil {
+		spec := &proto.ChaosSpec{
+			Drop: act.Chaos.Drop, Corrupt: act.Chaos.Corrupt,
+			Duplicate: act.Chaos.Duplicate,
+			DelayMS:   act.Chaos.DelayMS, JitterMS: act.Chaos.JitterMS,
+		}
+		for _, np := range chaosTargets {
+			if _, err := np.Call(proto.Command{Op: proto.OpChaos, Chaos: spec}, 30*time.Second); err != nil {
+				return nil, nil, -1, err
+			}
+		}
+	}
+
+	spec := proto.LoadSpec{
+		Queries: act.QueriesPerNode, Concurrency: act.Concurrency,
+		M: act.M, ZipfS: act.ZipfS, Repeat: act.Repeat,
+		HotCategory: act.HotCategory, HotFraction: act.HotFraction,
+		IntervalMS: act.IntervalMS, TimeoutMS: act.TimeoutMS,
+	}
+	if spec.Concurrency <= 0 {
+		spec.Concurrency = 4
+	}
+	if spec.M <= 0 {
+		spec.M = 2
+	}
+	if spec.TimeoutMS <= 0 {
+		spec.TimeoutMS = 5000
+	}
+	loadStart := time.Now()
+	for _, np := range live {
+		s := spec
+		s.Seed = p.Seed + 1000 + int64(np.ID)*101
+		if _, err := np.Call(proto.Command{Op: proto.OpLoad, Load: &s}, 30*time.Second); err != nil {
+			return nil, nil, -1, err
+		}
+	}
+
+	// Convergence watch: poll fairness while the load runs. The reading
+	// is the time from load start until the fleet's best fairness
+	// crosses the target (the leader's post-rebalance evaluation).
+	convergeS := -1.0
+	if act.TrackConvergence && target > 0 {
+		deadline := time.Now().Add(cfg.ActTimeout)
+		for time.Now().Before(deadline) {
+			time.Sleep(500 * time.Millisecond)
+			stats, err := scrape(r.Live(), 15*time.Second)
+			if err != nil {
+				break // node busy finishing the act; the wait below reports real errors
+			}
+			if maxFairness(stats) >= target {
+				convergeS = time.Since(loadStart).Seconds()
+				break
+			}
+			running := false
+			for _, s := range stats {
+				if s.LoadRunning {
+					running = true
+					break
+				}
+			}
+			if !running {
+				break // act load drained without crossing the target
+			}
+		}
+	}
+
+	var lat []float64
+	m := map[string]float64{}
+	for _, np := range live {
+		rsp, err := np.Call(proto.Command{Op: proto.OpWait}, cfg.ActTimeout)
+		if err != nil {
+			return nil, nil, -1, err
+		}
+		rep := rsp.Load
+		m["queries"] += float64(rep.Issued)
+		m["ok"] += float64(rep.OK)
+		m["errors"] += float64(rep.Timeouts + rep.Rejected + rep.NoRoute + rep.Failed)
+		m["timeouts"] += float64(rep.Timeouts)
+		m["rejected"] += float64(rep.Rejected)
+		if rep.Seconds > m["seconds"] {
+			m["seconds"] = rep.Seconds // acts run concurrently across nodes
+		}
+		lat = append(lat, rep.LatencyMS...)
+	}
+	if act.Chaos != nil {
+		for _, np := range chaosTargets {
+			if !np.Alive {
+				continue
+			}
+			np.Call(proto.Command{Op: proto.OpChaos, Chaos: &proto.ChaosSpec{Clear: true}}, 30*time.Second)
+		}
+	}
+
+	sort.Float64s(lat)
+	if len(lat) > 0 {
+		m["p50_ms"] = quantileSorted(lat, 0.5)
+		m["p95_ms"] = quantileSorted(lat, 0.95)
+		m["p99_ms"] = quantileSorted(lat, 0.99)
+	}
+	if m["seconds"] > 0 {
+		m["qps"] = m["queries"] / m["seconds"]
+	}
+	cur, err := scrape(r.Live(), 30*time.Second)
+	if err == nil {
+		m["wire_bytes_in"] = counterDelta(prev, cur, "wire_bytes_in")
+		m["wire_bytes_out"] = counterDelta(prev, cur, "wire_bytes_out")
+		hits := counterDelta(prev, cur, "cache_hit")
+		lookups := hits + counterDelta(prev, cur, "cache_miss")
+		if lookups > 0 {
+			m["cache_hit_rate"] = hits / lookups
+		}
+		m["fairness_x1000"] = float64(maxFairness(cur))
+	}
+	if act.TrackConvergence {
+		m["converge_s"] = convergeS
+	}
+	return m, lat, convergeS, nil
+}
+
+// quantileSorted reads a quantile off an ascending sample slice.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -1,0 +1,204 @@
+// The sync service: a Testground-style barrier coordinator for
+// multi-process plans. Node processes ENTER a named barrier and block;
+// the orchestrator AWAITs the barrier with a participant count and
+// everyone is released together when the count is reached. The protocol
+// is one line each way over TCP:
+//
+//	client:       ENTER <barrier>\n        → blocks → GO <barrier>\n
+//	orchestrator: AWAIT <barrier> <n>\n    → blocks → GO <barrier>\n
+//
+// A barrier, once released, stays open: a late ENTER (a restarted node
+// rejoining after churn) gets its GO immediately instead of deadlocking
+// a barrier that already fired.
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncServer coordinates named barriers for one plan run.
+type SyncServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	barriers map[string]*syncBarrier
+	closed   bool
+}
+
+type syncBarrier struct {
+	entered  int
+	want     int // 0 until an AWAIT names the count
+	released bool
+	waiters  []chan struct{} // ENTERers and AWAITers alike
+}
+
+// NewSyncServer starts the barrier service on a loopback port.
+func NewSyncServer() (*SyncServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("harness: sync listen: %w", err)
+	}
+	s := &SyncServer{ln: ln, barriers: make(map[string]*syncBarrier)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the service address node processes are pointed at (-sync).
+func (s *SyncServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the service and releases every waiter with an error.
+func (s *SyncServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *SyncServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *SyncServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		fmt.Fprintf(conn, "ERR malformed\n")
+		return
+	}
+	verb, name := fields[0], fields[1]
+	var release <-chan struct{}
+	switch verb {
+	case "ENTER":
+		release = s.enter(name)
+	case "AWAIT":
+		if len(fields) != 3 {
+			fmt.Fprintf(conn, "ERR malformed\n")
+			return
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			fmt.Fprintf(conn, "ERR bad count\n")
+			return
+		}
+		release = s.await(name, n)
+	default:
+		fmt.Fprintf(conn, "ERR unknown verb %s\n", verb)
+		return
+	}
+	<-release
+	fmt.Fprintf(conn, "GO %s\n", name)
+}
+
+func (s *SyncServer) barrier(name string) *syncBarrier {
+	b, ok := s.barriers[name]
+	if !ok {
+		b = &syncBarrier{}
+		s.barriers[name] = b
+	}
+	return b
+}
+
+// enter registers one arrival; the returned channel closes when the
+// barrier releases (immediately, if it already did).
+func (s *SyncServer) enter(name string) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.barrier(name)
+	ch := make(chan struct{})
+	if b.released {
+		close(ch)
+		return ch
+	}
+	b.entered++
+	b.waiters = append(b.waiters, ch)
+	s.maybeRelease(b)
+	return ch
+}
+
+// await sets the barrier's participant count and waits for it.
+func (s *SyncServer) await(name string, n int) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.barrier(name)
+	ch := make(chan struct{})
+	if b.released {
+		close(ch)
+		return ch
+	}
+	b.want = n
+	b.waiters = append(b.waiters, ch)
+	s.maybeRelease(b)
+	return ch
+}
+
+// maybeRelease fires the barrier once the awaited count has arrived.
+// Caller holds mu.
+func (s *SyncServer) maybeRelease(b *syncBarrier) {
+	if b.released || b.want == 0 || b.entered < b.want {
+		return
+	}
+	b.released = true
+	for _, ch := range b.waiters {
+		close(ch)
+	}
+	b.waiters = nil
+}
+
+// SyncEnter joins a barrier from a node process and blocks until it
+// releases (or the timeout / a server failure).
+func SyncEnter(addr, name string, timeout time.Duration) error {
+	return syncCall(addr, fmt.Sprintf("ENTER %s\n", name), name, timeout)
+}
+
+// SyncAwait opens a barrier for n participants from the orchestrator
+// and blocks until all have entered.
+func SyncAwait(addr, name string, n int, timeout time.Duration) error {
+	return syncCall(addr, fmt.Sprintf("AWAIT %s %d\n", name, n), name, timeout)
+}
+
+func syncCall(addr, req, name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("harness: sync dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return fmt.Errorf("harness: sync send: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("harness: sync barrier %q: %w", name, err)
+	}
+	if !strings.HasPrefix(line, "GO ") {
+		return fmt.Errorf("harness: sync barrier %q: unexpected reply %q", name, strings.TrimSpace(line))
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBarrierReleasesTogether: n ENTERs plus one AWAIT(n) all unblock,
+// and none unblocks before the count is reached.
+func TestBarrierReleasesTogether(t *testing.T) {
+	s, err := NewSyncServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 5
+	var wg sync.WaitGroup
+	released := make(chan int, n)
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := SyncEnter(s.Addr(), "act1", 5*time.Second); err != nil {
+				t.Error(err)
+			}
+			released <- i
+		}(i)
+	}
+	// With only n-1 entrants, the AWAIT must still be blocked.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case i := <-released:
+		t.Fatalf("entrant %d released before the barrier count was met", i)
+	default:
+	}
+
+	awaitDone := make(chan error, 1)
+	go func() { awaitDone <- SyncAwait(s.Addr(), "act1", n, 5*time.Second) }()
+	if err := SyncEnter(s.Addr(), "act1", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := <-awaitDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierLateEnter: a released barrier answers late entrants
+// immediately (the restarted-node case).
+func TestBarrierLateEnter(t *testing.T) {
+	s, err := NewSyncServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- SyncAwait(s.Addr(), "warmup", 1, 5*time.Second) }()
+	if err := SyncEnter(s.Addr(), "warmup", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Barrier already fired; a latecomer must not block.
+	start := time.Now()
+	if err := SyncEnter(s.Addr(), "warmup", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("late enter took %v, want immediate", d)
+	}
+}
+
+// TestBarrierIndependence: barriers are independent by name.
+func TestBarrierIndependence(t *testing.T) {
+	s, err := NewSyncServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	aDone := make(chan error, 1)
+	go func() { aDone <- SyncAwait(s.Addr(), "a", 1, 5*time.Second) }()
+	// Entering b must not release a.
+	bDone := make(chan error, 1)
+	go func() { bDone <- SyncEnter(s.Addr(), "b", 5*time.Second) }()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-aDone:
+		t.Fatal("barrier a released by an enter on b")
+	case <-bDone:
+		t.Fatal("barrier b released with no await")
+	default:
+	}
+	if err := SyncEnter(s.Addr(), "a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	go SyncAwait(s.Addr(), "b", 1, 5*time.Second)
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+}

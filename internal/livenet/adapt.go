@@ -196,6 +196,7 @@ func (n *Node) enableAdaptation(cfg AdaptConfig) {
 		agg:     make(map[model.ClusterID]*clusterLoad),
 		loads:   make(map[model.ClusterID]*clusterLoad),
 	}
+	n.gauges.Set("adapt_enabled", 1)
 	tick := cfg.Interval / 8
 	if tick < 5*time.Millisecond {
 		tick = 5 * time.Millisecond

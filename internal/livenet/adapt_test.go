@@ -22,7 +22,7 @@ func TestCorruptAdaptationFramesFailSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Launch(inst, assign, place, sh.Seed)
+	c, err := Launch(inst, assign, place, Options{Seed: sh.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}

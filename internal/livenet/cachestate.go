@@ -29,6 +29,9 @@ const cacheIdxStripes = 8
 type cacheState struct {
 	docs *cache.Striped
 	idx  [cacheIdxStripes]cacheIdx
+	// capBytes remembers the configured byte capacity (surfaced as the
+	// cache_capacity_bytes stat; the striped cache splits it internally).
+	capBytes int64
 }
 
 type cacheIdx struct {
@@ -43,7 +46,7 @@ func newCacheState(policy cache.Policy, bytes int64) (*cacheState, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs := &cacheState{docs: docs}
+	cs := &cacheState{docs: docs, capBytes: bytes}
 	for i := range cs.idx {
 		cs.idx[i].byCat = make(map[catalog.CategoryID][]catalog.DocID)
 	}

@@ -31,7 +31,7 @@ func TestChurnHardKillDetectedAndQueriesSurvive(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	seed, err := StartNode(sh, 0, "127.0.0.1:0", "")
+	seed, err := StartNode(sh, 0, "127.0.0.1:0", "", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestChurnHardKillDetectedAndQueriesSurvive(t *testing.T) {
 		}
 	}()
 	for id := model.NodeID(1); int(id) < sh.Nodes; id++ {
-		n, err := StartNode(sh, id, "127.0.0.1:0", seed.Addr())
+		n, err := StartNode(sh, id, "127.0.0.1:0", seed.Addr(), Options{})
 		if err != nil {
 			t.Fatalf("node %d: %v", id, err)
 		}
@@ -216,7 +216,7 @@ func TestAdaptationRebalancesSkewedLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Launch(inst, assign, place, sh.Seed)
+	c, err := Launch(inst, assign, place, Options{Seed: sh.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}

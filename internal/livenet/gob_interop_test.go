@@ -101,7 +101,7 @@ func TestGobWireNamesStable(t *testing.T) {
 // over TCP — byte-for-byte what a pre-v2 joiner sends — and checks the
 // node admits the joiner to its address book.
 func TestPreV2AnnounceReachesBook(t *testing.T) {
-	n, err := StartNode(testShape(), 0, "127.0.0.1:0", "")
+	n, err := StartNode(testShape(), 0, "127.0.0.1:0", "", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

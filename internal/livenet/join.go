@@ -100,14 +100,14 @@ func (sh Shape) Build() (*model.Instance, []model.ClusterID, *replica.Placement,
 // p2pnode binary): it reconstructs the model from the shape, takes the
 // role of node `id` (storing what the placement assigned to it), listens
 // on listenAddr, and — when bootstrapAddr is non-empty — announces itself
-// to the existing deployment and fetches the address book.
-func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string) (*Node, error) {
-	return StartNodeWithOptions(sh, id, listenAddr, bootstrapAddr, Options{})
-}
-
-// StartNodeWithOptions is StartNode with engine tuning (Options.Shards
-// sets the engine shard count; zero means DefaultShards).
-func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string, opts Options) (*Node, error) {
+// to the existing deployment and fetches the address book. Options is
+// the same birth-time knob surface Launch takes (shards, hooks,
+// admission, cache, membership, adaptation); its zero value matches the
+// historical StartNode defaults, with one path difference: membership is
+// ON by default here (standalone deployments face real churn), and
+// Options.Seed zero means Shape.Seed — the deployment seed — so every
+// process derives identical node-local randomness without repeating it.
+func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string, opts Options) (*Node, error) {
 	inst, assign, place, err := sh.Build()
 	if err != nil {
 		return nil, err
@@ -115,11 +115,25 @@ func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr s
 	if int(id) < 0 || int(id) >= len(inst.Nodes) {
 		return nil, fmt.Errorf("livenet: node id %d outside shape (0..%d)", id, len(inst.Nodes)-1)
 	}
-	ln, err := net.Listen("tcp", listenAddr)
+	listen := opts.Hooks.Listen
+	if listen == nil {
+		listen = func(_ model.NodeID, addr string) (net.Listener, error) {
+			return net.Listen("tcp", addr)
+		}
+	}
+	ln, err := listen(id, listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen %s: %w", listenAddr, err)
 	}
-	n := newNode(inst, id, ln, sh.Seed, opts.Shards)
+	seed := sh.Seed
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	n := newNode(inst, id, ln, seed, opts)
+	if opts.Hooks.Dial != nil {
+		dial := opts.Hooks.Dial
+		n.tr.setDial(func(addr string) (net.Conn, error) { return dial(id, addr) })
+	}
 	for _, d := range place.Stored[id] {
 		n.storeDoc(d)
 	}
@@ -149,8 +163,16 @@ func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr s
 
 	// Standalone deployments face real churn, so the failure detector is
 	// on by default (Launch-style in-process clusters opt in with
-	// Cluster.StartMembership).
-	n.StartMembership(membership.Config{})
+	// Cluster.StartMembership or Options.Membership); a non-nil
+	// Options.Membership only overrides its timing.
+	mcfg := membership.Config{}
+	if opts.Membership != nil {
+		mcfg = *opts.Membership
+	}
+	n.StartMembership(mcfg)
+	if opts.Adaptation != nil {
+		n.EnableAdaptation(*opts.Adaptation)
+	}
 
 	if bootstrapAddr != "" {
 		if err := n.announce(bootstrapAddr); err != nil {
@@ -159,6 +181,14 @@ func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr s
 		}
 	}
 	return n, nil
+}
+
+// StartNodeWithOptions is StartNode with the options last.
+//
+// Deprecated: it is now identical to StartNode, which takes the same
+// Options struct; call StartNode directly.
+func StartNodeWithOptions(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string, opts Options) (*Node, error) {
+	return StartNode(sh, id, listenAddr, bootstrapAddr, opts)
 }
 
 // Close shuts down a standalone node and waits for all of its goroutines
@@ -236,6 +266,19 @@ func (n *Node) KnownPeers() int {
 	n.routeMu.RLock()
 	defer n.routeMu.RUnlock()
 	return len(n.book)
+}
+
+// Peers snapshots the node's address book (id → listen address),
+// including itself. Fault-injection layers use it to attribute links by
+// node id; treat the copy as read-only truth at the time of the call.
+func (n *Node) Peers() map[model.NodeID]string {
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	book := make(map[model.NodeID]string, len(n.book))
+	for id, addr := range n.book {
+		book[id] = addr
+	}
+	return book
 }
 
 // handleHello merges the newcomer into the book, replies with the full

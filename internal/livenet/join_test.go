@@ -43,7 +43,7 @@ func TestShapeBuildDeterministic(t *testing.T) {
 func TestMultiProcessStyleJoin(t *testing.T) {
 	sh := testShape()
 	// Seed node.
-	seedNode, err := StartNode(sh, 0, "127.0.0.1:0", "")
+	seedNode, err := StartNode(sh, 0, "127.0.0.1:0", "", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestMultiProcessStyleJoin(t *testing.T) {
 	// A handful of peers join through the seed.
 	var nodes []*Node
 	for id := model.NodeID(1); id <= 6; id++ {
-		n, err := StartNode(sh, id, "127.0.0.1:0", seedNode.Addr())
+		n, err := StartNode(sh, id, "127.0.0.1:0", seedNode.Addr(), Options{})
 		if err != nil {
 			t.Fatalf("node %d: %v", id, err)
 		}
@@ -98,10 +98,10 @@ func TestMultiProcessStyleJoin(t *testing.T) {
 
 func TestStartNodeValidation(t *testing.T) {
 	sh := testShape()
-	if _, err := StartNode(sh, model.NodeID(999), "127.0.0.1:0", ""); err == nil {
+	if _, err := StartNode(sh, model.NodeID(999), "127.0.0.1:0", "", Options{}); err == nil {
 		t.Error("out-of-shape id should fail")
 	}
-	if _, err := StartNode(sh, 0, "127.0.0.1:0", "127.0.0.1:1"); err == nil {
+	if _, err := StartNode(sh, 0, "127.0.0.1:0", "127.0.0.1:1", Options{}); err == nil {
 		t.Error("unreachable bootstrap should fail")
 	}
 }

@@ -195,9 +195,12 @@ type Node struct {
 }
 
 // newNode builds a Node with empty peer state, its own private address
-// book, an idle transport, shards engine shards, and a default-capacity
-// requester cache.
-func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64, shards int) *Node {
+// book, an idle transport, and the engine geometry and birth
+// configuration the Options ask for (shard count, admission bound,
+// requester cache). Membership and adaptation are enabled by the
+// callers after the loops start — they ride the command channel.
+func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64, opts Options) *Node {
+	shards := opts.Shards
 	if shards <= 0 {
 		shards = DefaultShards()
 	}
@@ -226,9 +229,22 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 		gauges:    metrics.NewSyncGauge(),
 		querySalt: querySaltFor(id),
 	}
-	n.inflightMax.Store(DefaultMaxInFlight)
-	if cs, err := newCacheState(cache.LRU, DefaultCacheBytes); err == nil {
-		n.cacheSt.Store(cs)
+	if opts.MaxInFlight > 0 {
+		n.inflightMax.Store(int64(opts.MaxInFlight))
+	} else {
+		n.inflightMax.Store(DefaultMaxInFlight)
+	}
+	switch {
+	case opts.CacheBytes < 0:
+		// Caching disabled at birth; cacheSt stays nil.
+	case opts.CacheBytes == 0:
+		if cs, err := newCacheState(opts.CachePolicy, DefaultCacheBytes); err == nil {
+			n.cacheSt.Store(cs)
+		}
+	default:
+		if cs, err := newCacheState(opts.CachePolicy, opts.CacheBytes); err == nil {
+			n.cacheSt.Store(cs)
+		}
 	}
 	n.shards = newShards(n, shards, seed)
 	n.tr.onPeerDown = func(peer model.NodeID) {
@@ -273,6 +289,10 @@ func (n *Node) Stats() map[string]int64 {
 	s["queries_inflight"] = n.inflight.Load()
 	s["engine_shards"] = int64(len(n.shards))
 	s["served"] = n.served.Load()
+	s["max_inflight"] = n.inflightMax.Load()
+	if cs := n.cacheSt.Load(); cs != nil {
+		s["cache_capacity_bytes"] = cs.capBytes
+	}
 	for k, v := range n.gauges.Snapshot() {
 		s[k] = v
 	}
@@ -326,11 +346,54 @@ type NetHooks struct {
 	Dial func(from model.NodeID, addr string) (net.Conn, error)
 }
 
-// Options tunes a node's engine. The zero value takes every default.
+// Options configures a node — or every node of a launched cluster — at
+// construction. It is the single knob surface for both launch paths
+// (Launch for in-process clusters, StartNode for one peer of a
+// multi-process deployment), folding in what used to be spread across
+// LaunchWithHooks/LaunchWithOptions/StartNodeWithOptions and the
+// post-construction setters (SetMaxInFlight, SetCacheCapacity,
+// StartMembership, EnableAdaptation), so a harness plan can spawn a
+// fully-configured node in one call. The setters remain for runtime
+// tuning. The zero value reproduces the historical defaults of each
+// path exactly.
 type Options struct {
+	// Seed drives deterministic randomness: node rngs, transport backoff
+	// jitter, and (under Launch) the NRT chord wiring. StartNode derives
+	// its seed from Shape.Seed when this is zero; under Launch, zero is
+	// simply the seed 0 deployment.
+	Seed int64
+
 	// Shards is the engine shard count per node (the -shards flag in
 	// cmd/p2pnode); 0 means DefaultShards(), capped at 64.
 	Shards int
+
+	// Hooks injects the network layer (fault middleware, alternative
+	// listeners). The zero value uses plain TCP.
+	Hooks NetHooks
+
+	// MaxInFlight is the admission-control bound on concurrently pending
+	// queries; 0 means DefaultMaxInFlight. Runtime-tunable later with
+	// SetMaxInFlight.
+	MaxInFlight int
+
+	// CacheBytes sizes the requester-side document cache: 0 means
+	// DefaultCacheBytes, negative disables caching entirely.
+	// Runtime-tunable later with SetCacheCapacity.
+	CacheBytes int64
+
+	// CachePolicy picks the cache eviction policy; the zero value is
+	// cache.LRU (the historical default).
+	CachePolicy cache.Policy
+
+	// Membership configures the SWIM failure detector. nil keeps each
+	// path's historical default: off under Launch (opt in later with
+	// Cluster.StartMembership), on with membership.DefaultConfig under
+	// StartNode. Non-nil turns it on with the given config in both paths.
+	Membership *membership.Config
+
+	// Adaptation enables the §6.1 online rebalancing loop with the given
+	// config; nil leaves it off (opt in later with EnableAdaptation).
+	Adaptation *AdaptConfig
 }
 
 // DefaultShards is the engine shard count used when Options.Shards is
@@ -351,20 +414,11 @@ func DefaultShards() int {
 // Launch starts one TCP peer per instance node on loopback ports, primes
 // metadata exactly like the simulated overlay's bootstrap (full DCRT,
 // ring-plus-chords NRT per cluster, remote contacts), and returns the
-// running cluster. Close it when done.
-func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64) (*Cluster, error) {
-	return LaunchWithOptions(inst, assign, place, seed, NetHooks{}, Options{})
-}
-
-// LaunchWithHooks is Launch with an injectable network layer (fault
-// middleware, alternative listeners). Production callers use Launch.
-func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks) (*Cluster, error) {
-	return LaunchWithOptions(inst, assign, place, seed, hooks, Options{})
-}
-
-// LaunchWithOptions is LaunchWithHooks with engine options (shard
-// count).
-func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks, opts Options) (*Cluster, error) {
+// running cluster. Close it when done. Options carries everything a
+// deployment can configure at birth — seed, network hooks, engine
+// shards, admission bound, cache, membership, adaptation; the zero
+// value matches the historical Launch defaults.
+func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, opts Options) (*Cluster, error) {
 	if len(assign) != len(inst.Catalog.Cats) {
 		return nil, fmt.Errorf("livenet: assignment covers %d of %d categories",
 			len(assign), len(inst.Catalog.Cats))
@@ -373,7 +427,8 @@ func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *re
 	if err != nil {
 		return nil, err
 	}
-	listen := hooks.Listen
+	seed := opts.Seed
+	listen := opts.Hooks.Listen
 	if listen == nil {
 		listen = func(_ model.NodeID, addr string) (net.Listener, error) {
 			return net.Listen("tcp", addr)
@@ -389,10 +444,11 @@ func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *re
 			c.Close()
 			return nil, fmt.Errorf("livenet: listen: %w", err)
 		}
-		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k), opts.Shards)
-		if hooks.Dial != nil {
+		n := newNode(inst, inst.Nodes[k].ID, ln, seed+int64(k), opts)
+		if opts.Hooks.Dial != nil {
 			from := n.id
-			n.tr.setDial(func(addr string) (net.Conn, error) { return hooks.Dial(from, addr) })
+			dial := opts.Hooks.Dial
+			n.tr.setDial(func(addr string) (net.Conn, error) { return dial(from, addr) })
 		}
 		book[n.id] = ln.Addr().String()
 		c.Nodes = append(c.Nodes, n)
@@ -462,7 +518,33 @@ func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *re
 	for _, n := range c.Nodes {
 		n.startLoops()
 	}
+	// Birth-time subsystems ride the command channel, so they come up
+	// after the loops. Membership first: adaptation's leader election
+	// consults the detector's live view when one is running.
+	if opts.Membership != nil {
+		c.StartMembership(*opts.Membership)
+	}
+	if opts.Adaptation != nil {
+		c.EnableAdaptation(*opts.Adaptation)
+	}
 	return c, nil
+}
+
+// LaunchWithHooks is Launch with an injectable network layer.
+//
+// Deprecated: use Launch with Options{Seed: seed, Hooks: hooks}.
+func LaunchWithHooks(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks) (*Cluster, error) {
+	return Launch(inst, assign, place, Options{Seed: seed, Hooks: hooks})
+}
+
+// LaunchWithOptions is Launch with the seed and hooks passed alongside
+// the remaining options.
+//
+// Deprecated: use Launch and set Options.Seed / Options.Hooks directly.
+func LaunchWithOptions(inst *model.Instance, assign []model.ClusterID, place *replica.Placement, seed int64, hooks NetHooks, opts Options) (*Cluster, error) {
+	opts.Seed = seed
+	opts.Hooks = hooks
+	return Launch(inst, assign, place, opts)
 }
 
 // newNodeRng derives a node-local random source.

@@ -35,7 +35,7 @@ func launchSmall(t *testing.T, seed int64) (*Cluster, *model.Instance) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Launch(inst, res.Assignment, place, seed)
+	c, err := Launch(inst, res.Assignment, place, Options{Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}

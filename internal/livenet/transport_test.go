@@ -460,7 +460,7 @@ func BenchmarkLiveQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := Launch(inst, assignAll(inst), nil, 21)
+	c, err := Launch(inst, assignAll(inst), nil, Options{Seed: 21})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,7 +5,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"p2pshare/internal/catalog"
@@ -55,6 +57,43 @@ func NewGenerator(inst *model.Instance, m int, seed int64) (*Generator, error) {
 	return &Generator{
 		inst:    inst,
 		sampler: zipf.NewSampler(pops),
+		rng:     rand.New(rand.NewSource(seed)),
+		M:       m,
+	}, nil
+}
+
+// NewZipfGenerator builds a generator whose document weights follow a
+// rank-based Zipf law of exponent s instead of the catalog's own
+// popularity masses: documents are ranked by descending catalog
+// popularity and document at rank r (1-based) gets weight r^-s. This is
+// the harness's parameterized skew knob — s ≈ 0 is near-uniform demand,
+// s ≈ 1 the classic web-trace skew, s > 1.5 a few documents dominating —
+// applied over the same popularity ORDER the deployment was placed for,
+// so changing s shifts load concentration without inventing a different
+// hot set.
+func NewZipfGenerator(inst *model.Instance, m int, s float64, seed int64) (*Generator, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("workload: m must be positive, got %d", m)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be non-negative, got %g", s)
+	}
+	type ranked struct {
+		idx int
+		pop float64
+	}
+	docs := make([]ranked, len(inst.Catalog.Docs))
+	for i := range inst.Catalog.Docs {
+		docs[i] = ranked{i, inst.Catalog.Docs[i].Popularity}
+	}
+	sort.SliceStable(docs, func(i, j int) bool { return docs[i].pop > docs[j].pop })
+	weights := make([]float64, len(inst.Catalog.Docs))
+	for r, d := range docs {
+		weights[d.idx] = math.Pow(float64(r+1), -s)
+	}
+	return &Generator{
+		inst:    inst,
+		sampler: zipf.NewSampler(weights),
 		rng:     rand.New(rand.NewSource(seed)),
 		M:       m,
 	}, nil

@@ -234,3 +234,81 @@ func TestFlashCrowdIn(t *testing.T) {
 		t.Error("no docs added")
 	}
 }
+
+func TestZipfGeneratorValidation(t *testing.T) {
+	inst := testInstance(t)
+	if _, err := NewZipfGenerator(inst, 0, 1.0, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewZipfGenerator(inst, 3, -0.5, 1); err == nil {
+		t.Error("negative exponent should fail")
+	}
+}
+
+// TestZipfGeneratorSkew: a larger exponent concentrates more of the
+// draw mass on the hottest documents, s=0 is uniform, and the ranking
+// follows catalog popularity (the hottest docs under Zipf are the
+// catalog's most popular ones, just with reweighted mass).
+func TestZipfGeneratorSkew(t *testing.T) {
+	inst := testInstance(t)
+	const draws = 20000
+	topShare := func(s float64) float64 {
+		g, err := NewZipfGenerator(inst, 1, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int]int)
+		for i := 0; i < draws; i++ {
+			counts[int(g.Next().Category)]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		return float64(best) / draws
+	}
+	flat, classic, extreme := topShare(0), topShare(1.0), topShare(1.8)
+	if !(flat < classic && classic < extreme) {
+		t.Errorf("top-category share must grow with the exponent: s=0 %.3f, s=1 %.3f, s=1.8 %.3f",
+			flat, classic, extreme)
+	}
+	// s=0 is uniform over documents: no category should dominate beyond
+	// its share of the catalog (with generous sampling slack).
+	maxCatDocs := 0
+	perCat := make(map[int]int)
+	for _, d := range inst.Catalog.Docs {
+		for _, c := range d.Categories {
+			perCat[int(c)]++
+			if perCat[int(c)] > maxCatDocs {
+				maxCatDocs = perCat[int(c)]
+			}
+		}
+	}
+	// Each draw picks one of the doc's categories, so an upper bound on
+	// any category share under uniform docs is its doc share.
+	bound := float64(maxCatDocs)/float64(len(inst.Catalog.Docs)) + 0.05
+	if flat > bound {
+		t.Errorf("s=0 top-category share %.3f exceeds uniform bound %.3f", flat, bound)
+	}
+}
+
+// TestZipfGeneratorDeterministic: same (m, s, seed) → identical stream.
+func TestZipfGeneratorDeterministic(t *testing.T) {
+	inst := testInstance(t)
+	a, err := NewZipfGenerator(inst, 2, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewZipfGenerator(inst, 2, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa.Category != qb.Category || qa.Origin != qb.Origin {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
