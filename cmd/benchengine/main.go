@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/harness"
 	"p2pshare/internal/livenet"
 )
 
@@ -110,15 +112,88 @@ func bench(shards, queries, workers int, seed int64) (run, error) {
 	}, nil
 }
 
+// gateObjectives are the regression gates applied under -baseline,
+// evaluated with harness.Compare — the same slack arithmetic
+// (slack = base*RelTol + AbsTol, direction by Goal) p2pbench uses.
+// Latency gets wide tolerances because CI machines vary; throughput is
+// tracked but not gated, matching the harness smoke plan's convention.
+func gateObjectives() []harness.Objective {
+	return []harness.Objective{
+		{Metric: "errors", Goal: "min", RelTol: 1.0, AbsTol: 5},
+		{Metric: "p95_ms", Goal: "min", RelTol: 2.0, AbsTol: 100},
+		{Metric: "p99_ms", Goal: "min", RelTol: 3.0, AbsTol: 250},
+		{Metric: "msgs_per_sec", Goal: "max"}, // report-only
+	}
+}
+
+// totals adapts one run to the metric map harness.Compare consumes.
+func totals(r run) map[string]float64 {
+	return map[string]float64{
+		"errors":       float64(r.Errors),
+		"p95_ms":       r.P95Ms,
+		"p99_ms":       r.P99Ms,
+		"msgs_per_sec": r.MsgsPerSec,
+	}
+}
+
+// gate compares each current run against the baseline run with the same
+// shard count and reports regressions; shard counts missing from the
+// baseline are skipped so new sweep points don't fail until a baseline
+// catches up.
+func gate(baseline report, rep report) bool {
+	byShards := make(map[int]run, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		byShards[r.Shards] = r
+	}
+	failed := false
+	for _, cur := range rep.Runs {
+		base, ok := byShards[cur.Shards]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchengine: shards=%d: no baseline run; skipping gate\n", cur.Shards)
+			continue
+		}
+		regs := harness.Compare(gateObjectives(),
+			harness.Result{Totals: totals(base)},
+			harness.Result{Totals: totals(cur)})
+		if len(regs) == 0 {
+			fmt.Fprintf(os.Stderr, "benchengine: shards=%d within tolerance of baseline\n", cur.Shards)
+			continue
+		}
+		failed = true
+		fmt.Fprintf(os.Stderr, "benchengine: shards=%d: %d regression(s) vs baseline:\n", cur.Shards, len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+	}
+	return failed
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_engine.json", "output path (- = stdout)")
-		queries = flag.Int("queries", 1000, "queries per shard-count run")
-		workers = flag.Int("workers", 8, "concurrent query workers")
-		seed    = flag.Int64("seed", 51, "deployment seed")
-		shards  = flag.String("shards", "", "comma-separated shard counts (default \"1,<gomaxprocs>\")")
+		out        = flag.String("out", "BENCH_engine.json", "output path (- = stdout)")
+		queries    = flag.Int("queries", 1000, "queries per shard-count run")
+		workers    = flag.Int("workers", 8, "concurrent query workers")
+		seed       = flag.Int64("seed", 51, "deployment seed")
+		shards     = flag.String("shards", "", "comma-separated shard counts (default \"1,<gomaxprocs>\")")
+		baseline   = flag.String("baseline", "", "baseline BENCH_engine json (or directory holding BENCH_engine.baseline.json) to gate against; exits 1 on regression")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	counts := []int{1, runtime.GOMAXPROCS(0)}
 	if counts[1] == 1 {
@@ -156,6 +231,19 @@ func main() {
 		rep.Runs = append(rep.Runs, r)
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+		}
+		f.Close()
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
@@ -164,11 +252,31 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchengine: wrote", *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchengine:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		path := *baseline
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			path = path + string(os.PathSeparator) + "BENCH_engine.baseline.json"
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchengine: no baseline at %s; skipping gate\n", path)
+			return
+		}
+		var base report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchengine: bad baseline:", err)
+			os.Exit(1)
+		}
+		if gate(base, rep) {
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintln(os.Stderr, "benchengine: wrote", *out)
 }

@@ -18,12 +18,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"p2pshare/internal/harness"
 )
 
 func main() {
+	// Indirection so the profile-flushing defers in run still execute on
+	// a failing exit code.
+	os.Exit(run())
+}
+
+func run() int {
 	plan := flag.String("plan", "", "plan name to run (see -list)")
 	all := flag.Bool("all", false, "run every built-in plan")
 	list := flag.Bool("list", false, "list plans and exit")
@@ -31,13 +39,43 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH json (or directory of them) to gate against")
 	seed := flag.Int64("seed", 0, "override the plan seed (0 = plan default)")
 	actTimeout := flag.Duration("act-timeout", 3*time.Minute, "per-act wait bound")
+	cpuprofile := flag.String("cpuprofile", "", "write the driver's CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write the driver's heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p2pbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "p2pbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p2pbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "p2pbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, p := range harness.Plans() {
 			fmt.Printf("%-22s %s\n", p.Name, p.Overview)
 		}
-		return
+		return 0
 	}
 
 	var plans []harness.Plan
@@ -48,19 +86,19 @@ func main() {
 		p, err := harness.LookupPlan(*plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p2pbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		plans = []harness.Plan{p}
 	default:
 		fmt.Fprintln(os.Stderr, "p2pbench: pass -plan <name>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	// One shared build across the suite.
 	binDir, err := os.MkdirTemp("", "p2pbench-*")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p2pbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer os.RemoveAll(binDir)
 
@@ -106,8 +144,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // loadBaseline resolves -baseline: a file gates the plan directly; a

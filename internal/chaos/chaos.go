@@ -119,6 +119,16 @@ func (c *Net) Register(id model.NodeID, addr string) {
 	c.mu.Unlock()
 }
 
+// SetDial replaces the function that opens the underlying connection a
+// link's fault middleware wraps — the seam that layers chaos over an
+// alternative fabric such as internal/memnet. The default dials
+// loopback TCP.
+func (c *Net) SetDial(dial func(addr string) (net.Conn, error)) {
+	c.mu.Lock()
+	c.dial = dial
+	c.mu.Unlock()
+}
+
 // SetDefault applies a fault set to every link without an explicit
 // override (the "weather": e.g. 5% drop everywhere).
 func (c *Net) SetDefault(f Faults) {

@@ -46,6 +46,7 @@ import (
 	"p2pshare/internal/model"
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/replica"
+	"p2pshare/internal/timerwheel"
 	"p2pshare/internal/wire"
 )
 
@@ -201,29 +202,17 @@ func (n *Node) enableAdaptation(cfg AdaptConfig) {
 	if tick < 5*time.Millisecond {
 		tick = 5 * time.Millisecond
 	}
-	n.wg.Add(1)
-	go n.adaptLoop(tick)
-}
-
-// adaptLoop funnels epoch-clock ticks into the event loop (membership's
-// probe loop also ticks the adaptation layer; both paths are idempotent
-// per step, so double ticking is harmless).
-func (n *Node) adaptLoop(interval time.Duration) {
-	defer n.wg.Done()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
+	// The epoch clock rides the shared timerwheel (membership's probe
+	// clock also ticks the adaptation layer; both paths are idempotent per
+	// step, so double or dropped ticks are harmless — the next tick
+	// catches the state machine up).
+	n.addTimer(timerwheel.Default().Every(tick, func(now time.Time) {
 		select {
-		case <-ticker.C:
-			select {
-			case n.cmds <- func(n *Node) { n.adaptTick(time.Now()) }:
-			case <-n.done:
-				return
-			}
-		case <-n.done:
-			return
+		case n.cmds <- func(n *Node) { n.adaptTick(now) }:
+		default:
+			n.stats.Add("adapt_tick_skips", 1)
 		}
-	}
+	}))
 }
 
 // adaptTick advances the epoch state machine. Runs in the event loop.
@@ -558,7 +547,7 @@ func (n *Node) adaptEvaluate(e uint64) {
 					continue
 				}
 				seen[id] = true
-				if _, known := n.book[id]; known {
+				if n.book.has(id) {
 					n.send(id, announce)
 				}
 			}
@@ -630,12 +619,13 @@ func (n *Node) applyMoveEntry(cat catalog.CategoryID, e overlay.DCRTEntry) bool 
 // gossipEntry pushes one changed DCRT entry to a few random addressable
 // peers (lazy rebalancing step 5).
 func (n *Node) gossipEntry(cat catalog.CategoryID, e overlay.DCRTEntry) {
-	peers := make([]model.NodeID, 0, len(n.book))
-	for id := range n.book {
+	peers := make([]model.NodeID, 0, n.book.len())
+	n.book.forEach(func(id model.NodeID, _ string) bool {
 		if id != n.id {
 			peers = append(peers, id)
 		}
-	}
+		return true
+	})
 	if len(peers) == 0 {
 		return
 	}

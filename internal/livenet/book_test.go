@@ -1,0 +1,125 @@
+package livenet
+
+import (
+	"testing"
+
+	"p2pshare/internal/model"
+)
+
+// TestAddrBookCopyOnWrite pins the divergence semantics: a shared base,
+// node-private overlays and deletions, and an O(1) count that stays
+// consistent through every transition.
+func TestAddrBookCopyOnWrite(t *testing.T) {
+	base := map[model.NodeID]string{1: "a", 2: "b", 3: "c"}
+	b := newAddrBook()
+	b.set(1, "a") // self entry pre-base, also present in base
+	b.setBase(base)
+
+	if b.len() != 3 {
+		t.Fatalf("len after setBase = %d, want 3", b.len())
+	}
+	if addr, ok := b.get(2); !ok || addr != "b" {
+		t.Fatalf("get(2) = %q, %v", addr, ok)
+	}
+
+	// Update diverges from base without touching it.
+	b.set(2, "b2")
+	if addr, _ := b.get(2); addr != "b2" {
+		t.Fatalf("after update get(2) = %q, want b2", addr)
+	}
+	if base[2] != "b" {
+		t.Fatal("update leaked into the shared base")
+	}
+	if b.len() != 3 {
+		t.Fatalf("len after update = %d, want 3", b.len())
+	}
+
+	// New entry beyond the base.
+	b.set(4, "d")
+	if b.len() != 4 {
+		t.Fatalf("len after add = %d, want 4", b.len())
+	}
+
+	// Delete a base entry: tombstoned locally, base untouched.
+	if !b.del(3) {
+		t.Fatal("del(3) reported absent")
+	}
+	if _, ok := b.get(3); ok {
+		t.Fatal("deleted base entry still visible")
+	}
+	if base[3] != "c" {
+		t.Fatal("delete leaked into the shared base")
+	}
+	if b.del(3) {
+		t.Fatal("double delete reported present")
+	}
+	if b.len() != 3 {
+		t.Fatalf("len after delete = %d, want 3", b.len())
+	}
+
+	// Resurrect the deleted entry.
+	b.set(3, "c9")
+	if addr, ok := b.get(3); !ok || addr != "c9" {
+		t.Fatalf("resurrected get(3) = %q, %v", addr, ok)
+	}
+	if b.len() != 4 {
+		t.Fatalf("len after resurrect = %d, want 4", b.len())
+	}
+
+	// Re-converging an overlay entry with the base drops the divergence.
+	b.set(2, "b")
+	if _, shadowed := b.over[2]; shadowed {
+		t.Fatal("overlay kept an entry identical to base")
+	}
+	if addr, _ := b.get(2); addr != "b" {
+		t.Fatalf("reconverged get(2) = %q", addr)
+	}
+
+	// forEach visits each live entry exactly once; snapshot agrees.
+	seen := map[model.NodeID]string{}
+	b.forEach(func(id model.NodeID, addr string) bool {
+		if _, dup := seen[id]; dup {
+			t.Fatalf("forEach visited %d twice", id)
+		}
+		seen[id] = addr
+		return true
+	})
+	want := map[model.NodeID]string{1: "a", 2: "b", 3: "c9", 4: "d"}
+	if len(seen) != len(want) {
+		t.Fatalf("forEach saw %v, want %v", seen, want)
+	}
+	for id, addr := range want {
+		if seen[id] != addr {
+			t.Fatalf("forEach saw %d=%q, want %q", id, seen[id], addr)
+		}
+	}
+	snap := b.snapshot()
+	for id, addr := range want {
+		if snap[id] != addr {
+			t.Fatalf("snapshot[%d] = %q, want %q", id, snap[id], addr)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(want))
+	}
+}
+
+// TestAddrBookNoBase covers StartNode-style books that never get a
+// shared base.
+func TestAddrBookNoBase(t *testing.T) {
+	b := newAddrBook()
+	if b.len() != 0 {
+		t.Fatalf("fresh book len = %d", b.len())
+	}
+	b.set(7, "x")
+	b.set(7, "y")
+	if b.len() != 1 {
+		t.Fatalf("len = %d, want 1", b.len())
+	}
+	if !b.del(7) || b.len() != 0 {
+		t.Fatalf("delete failed, len = %d", b.len())
+	}
+	if b.del(7) {
+		t.Fatal("double delete reported present")
+	}
+}

@@ -203,10 +203,15 @@ func TestUnroutableQueryExpiresNotLeaks(t *testing.T) {
 	// address book, so refill has nothing to rebuild from.
 	evicted := make(chan struct{})
 	origin.cmds <- func(n *Node) {
-		for id := range n.book {
+		var ids []model.NodeID
+		n.book.forEach(func(id model.NodeID, _ string) bool {
 			if id != n.id {
-				n.evictDeadPeer(id)
+				ids = append(ids, id)
 			}
+			return true
+		})
+		for _, id := range ids {
+			n.evictDeadPeer(id)
 		}
 		close(evicted)
 	}

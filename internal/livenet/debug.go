@@ -83,7 +83,7 @@ func (n *Node) TableSizes() map[string]int {
 	ch := make(chan map[string]int, 1)
 	select {
 	case n.cmds <- func(n *Node) {
-		ctrl := map[string]int{"book": len(n.book)}
+		ctrl := map[string]int{"book": n.book.len()}
 		nrt := 0
 		for _, members := range n.nrt {
 			nrt += len(members)

@@ -128,10 +128,16 @@ func (n *Node) QueryContext(ctx context.Context, cat catalog.CategoryID, m int) 
 	var members []model.NodeID
 	if entry, ok := n.dcrt[cat]; ok {
 		all := n.nrt[entry.Cluster]
+		if len(all) > 0 {
+			members = make([]model.NodeID, 0, len(all))
+		}
 		for _, mb := range all {
-			if _, known := n.book[mb]; known {
+			if n.book.has(mb) {
 				members = append(members, mb)
 			}
+		}
+		if len(members) == 0 {
+			members = nil
 		}
 		if members == nil {
 			members = append([]model.NodeID(nil), all...)
@@ -284,7 +290,7 @@ func (n *Node) refillEntry(pq *pendingQuery) {
 	live := pq.entry[:0]
 	have := make(map[model.NodeID]struct{}, len(pq.entry))
 	for _, m := range pq.entry {
-		if _, known := n.book[m]; !known {
+		if !n.book.has(m) {
 			continue // evicted by membership; resending there is wasted
 		}
 		if _, dup := have[m]; dup {
@@ -298,7 +304,7 @@ func (n *Node) refillEntry(pq *pendingQuery) {
 		if _, dup := have[mb]; dup {
 			continue
 		}
-		if _, known := n.book[mb]; known {
+		if n.book.has(mb) {
 			have[mb] = struct{}{}
 			pq.entry = append(pq.entry, mb)
 		}

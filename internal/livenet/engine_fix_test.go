@@ -64,10 +64,11 @@ func TestRefillEntryDeduplicates(t *testing.T) {
 		nrt: map[model.ClusterID][]model.NodeID{
 			1: {2, 3, 4},
 		},
-		book: map[model.NodeID]string{
-			2: "a", 3: "b", 4: "c",
-		},
+		book: newAddrBook(),
 	}
+	n.book.set(2, "a")
+	n.book.set(3, "b")
+	n.book.set(4, "c")
 	pq := &pendingQuery{cat: 3, entry: []model.NodeID{2}}
 
 	n.refillEntry(pq)

@@ -265,7 +265,7 @@ func (n *Node) announce(bootstrapAddr string) error {
 func (n *Node) KnownPeers() int {
 	n.routeMu.RLock()
 	defer n.routeMu.RUnlock()
-	return len(n.book)
+	return n.book.len()
 }
 
 // Peers snapshots the node's address book (id → listen address),
@@ -274,11 +274,7 @@ func (n *Node) KnownPeers() int {
 func (n *Node) Peers() map[model.NodeID]string {
 	n.routeMu.RLock()
 	defer n.routeMu.RUnlock()
-	book := make(map[model.NodeID]string, len(n.book))
-	for id, addr := range n.book {
-		book[id] = addr
-	}
-	return book
+	return n.book.snapshot()
 }
 
 // handleHello merges the newcomer into the book, replies with the full
@@ -288,14 +284,16 @@ func (n *Node) Peers() map[model.NodeID]string {
 // still gets the book reply (the restarted process lost its copy); only
 // the forwarding is suppressed.
 func (n *Node) handleHello(m helloMsg) {
-	duplicate := n.book[m.ID] == m.Addr
-	prior := make([]model.NodeID, 0, len(n.book))
-	for id := range n.book {
+	known, _ := n.book.get(m.ID)
+	duplicate := known == m.Addr
+	prior := make([]model.NodeID, 0, n.book.len())
+	n.book.forEach(func(id model.NodeID, _ string) bool {
 		if id != n.id && id != m.ID {
 			prior = append(prior, id)
 		}
-	}
-	n.book[m.ID] = m.Addr
+		return true
+	})
+	n.book.set(m.ID, m.Addr)
 	if n.det != nil {
 		// A hello is firsthand liveness evidence: it resurrects even a
 		// tombstoned peer (the node really is back), with an incarnation
@@ -303,11 +301,7 @@ func (n *Node) handleHello(m helloMsg) {
 		n.det.Rejoin(m.ID, m.Addr, time.Now())
 		n.drainMembership()
 	}
-	book := make(map[model.NodeID]string, len(n.book))
-	for id, addr := range n.book {
-		book[id] = addr
-	}
-	reply := bookMsg{Book: book}
+	reply := bookMsg{Book: n.book.snapshot()}
 	if n.det != nil {
 		reply.Dead = n.det.Tombstones()
 	}
@@ -344,7 +338,7 @@ func (n *Node) handleBook(m bookMsg) {
 				continue // confirmed dead; do not resurrect the entry
 			}
 		}
-		n.book[id] = addr
+		n.book.set(id, addr)
 	}
 	if n.det != nil {
 		n.drainMembership()

@@ -49,6 +49,7 @@ import (
 	"p2pshare/internal/overlay"
 	"p2pshare/internal/query"
 	"p2pshare/internal/replica"
+	"p2pshare/internal/timerwheel"
 	"p2pshare/internal/wire"
 )
 
@@ -107,8 +108,11 @@ type pendingQuery struct {
 // result snapshots the outcome accumulated so far.
 func (pq *pendingQuery) result(done bool) query.Result {
 	out := query.Result{Done: done, Hops: pq.hops, Results: len(pq.docs)}
-	for d := range pq.docs {
-		out.Docs = append(out.Docs, d)
+	if len(pq.docs) > 0 {
+		out.Docs = make([]catalog.DocID, 0, len(pq.docs))
+		for d := range pq.docs {
+			out.Docs = append(out.Docs, d)
+		}
 	}
 	return out
 }
@@ -147,9 +151,10 @@ type Node struct {
 	// Routing and topology state. The control loop is the sole writer
 	// and holds routeMu.Lock for every event it processes; engine shards
 	// and API callers read under routeMu.RLock. book maps node ids to
-	// listen addresses (handleHello and handleBook mutate it).
+	// listen addresses (handleHello and handleBook mutate it) —
+	// copy-on-write over a cluster-shared base, see book.go.
 	routeMu sync.RWMutex
-	book    map[model.NodeID]string
+	book    *addrBook
 	dt      map[catalog.DocID]catalog.CategoryID
 	byCat   map[catalog.CategoryID][]catalog.DocID
 	dcrt    map[catalog.CategoryID]overlay.DCRTEntry
@@ -192,6 +197,31 @@ type Node struct {
 	// querySalt mints query ids: each shard's sequence is mixed with
 	// this full-width node discriminant (see queryID in engine.go).
 	querySalt uint64
+
+	// stopTimers unregisters this node's periodic work from the shared
+	// process-wide timerwheel (shard sweeps, membership probe clock,
+	// adaptation epoch clock). Those used to be 3+ dedicated ticker
+	// goroutines per node; at paper scale that alone was tens of
+	// thousands of goroutines. Guarded by timersMu because subsystems
+	// register from the control loop while shutdown may run concurrently.
+	timersMu   sync.Mutex
+	stopTimers []func()
+}
+
+// addTimer records a timerwheel stop function for shutdown — or runs it
+// immediately when the node is already shut down (a subsystem enabled in
+// the control loop racing Close).
+func (n *Node) addTimer(stop func()) {
+	n.timersMu.Lock()
+	select {
+	case <-n.done:
+		n.timersMu.Unlock()
+		stop()
+		return
+	default:
+	}
+	n.stopTimers = append(n.stopTimers, stop)
+	n.timersMu.Unlock()
 }
 
 // newNode builds a Node with empty peer state, its own private address
@@ -213,7 +243,7 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 		inst:    inst,
 		ln:      ln,
 		rng:     newNodeRng(seed, id),
-		book:    map[model.NodeID]string{id: ln.Addr().String()},
+		book:    newAddrBook(),
 		inbox:   make(chan envelope, 256),
 		cmds:    make(chan command, 16),
 		done:    make(chan struct{}),
@@ -228,6 +258,10 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 
 		gauges:    metrics.NewSyncGauge(),
 		querySalt: querySaltFor(id),
+	}
+	n.book.set(id, ln.Addr().String())
+	if opts.WriterIdle != 0 {
+		n.tr.writerIdle = opts.WriterIdle
 	}
 	if opts.MaxInFlight > 0 {
 		n.inflightMax.Store(int64(opts.MaxInFlight))
@@ -257,7 +291,10 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 }
 
 // startLoops launches the node's goroutines: the TCP accept loop, the
-// control loop, and one loop per engine shard.
+// control loop, and one loop per engine shard. The housekeeping sweep
+// rides the shared timerwheel — one registration per node fanning
+// non-blocking sweep commands to every shard — instead of one ticker
+// goroutine per shard.
 func (n *Node) startLoops() {
 	n.wg.Add(2 + len(n.shards))
 	go n.acceptLoop()
@@ -265,6 +302,11 @@ func (n *Node) startLoops() {
 	for _, s := range n.shards {
 		go s.loop()
 	}
+	n.addTimer(timerwheel.Default().Every(sweepInterval, func(now time.Time) {
+		for _, s := range n.shards {
+			s.offerSweep(now)
+		}
+	}))
 }
 
 // ID returns the node's id.
@@ -286,6 +328,7 @@ func (n *Node) Served() int64 { return n.served.Load() }
 func (n *Node) Stats() map[string]int64 {
 	s := n.stats.Snapshot()
 	s["queue_depth"] = int64(n.tr.queueDepth())
+	s["transport_writers_active"] = n.tr.writers()
 	s["queries_inflight"] = n.inflight.Load()
 	s["engine_shards"] = int64(len(n.shards))
 	s["served"] = n.served.Load()
@@ -394,6 +437,12 @@ type Options struct {
 	// Adaptation enables the §6.1 online rebalancing loop with the given
 	// config; nil leaves it off (opt in later with EnableAdaptation).
 	Adaptation *AdaptConfig
+
+	// WriterIdle is how long a peer link's writer goroutine may sit idle
+	// before parking (exiting until the next send respawns it). 0 means
+	// the default (45s); negative disables parking so writers persist for
+	// the node's lifetime, the pre-parking behavior.
+	WriterIdle time.Duration
 }
 
 // DefaultShards is the engine shard count used when Options.Shards is
@@ -506,13 +555,13 @@ func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Place
 		}
 	}
 
-	// Each node gets a private copy of the address book: handleHello and
-	// handleBook mutate it inside the owning event loop, which would race
-	// on a shared map.
+	// Every node aliases ONE shared immutable base book and diverges
+	// copy-on-write (book.go): handleHello and handleBook mutate only the
+	// node-private overlay inside the owning event loop, so sharing is
+	// race-free and Launch memory is O(N) instead of the O(N²) that
+	// private full copies cost (≈10⁸ map entries at 10k nodes).
 	for _, n := range c.Nodes {
-		for id, addr := range book {
-			n.book[id] = addr
-		}
+		n.book.setBase(book)
 	}
 
 	for _, n := range c.Nodes {
@@ -574,6 +623,13 @@ func (n *Node) shutdown() {
 	case <-n.done:
 	default:
 		close(n.done)
+	}
+	n.timersMu.Lock()
+	stops := n.stopTimers
+	n.stopTimers = nil
+	n.timersMu.Unlock()
+	for _, stop := range stops {
+		stop()
 	}
 	n.ln.Close()
 	n.tr.close()
@@ -821,7 +877,7 @@ func (n *Node) dispatchControl(env envelope) {
 // hold routeMu in either mode: it reads the address book. The control
 // loop holds the write lock for every event; shards take RLock.
 func (n *Node) send(to model.NodeID, msg any) {
-	addr, ok := n.book[to]
+	addr, ok := n.book.get(to)
 	if !ok {
 		n.stats.Add("send_no_addr", 1)
 		return

@@ -19,6 +19,7 @@ import (
 
 	"p2pshare/internal/membership"
 	"p2pshare/internal/model"
+	"p2pshare/internal/timerwheel"
 )
 
 // leaveFlushGrace is how long Leave waits after queueing its departure
@@ -66,11 +67,12 @@ func (n *Node) enableMembership(cfg membership.Config) {
 	}
 	n.det = membership.New(n.id, n.Addr(), cfg, n.rng.Int63())
 	now := time.Now()
-	for id, addr := range n.book {
+	n.book.forEach(func(id model.NodeID, addr string) bool {
 		if id != n.id {
 			n.det.Observe(id, addr, now)
 		}
-	}
+		return true
+	})
 	n.drainMembership()
 
 	interval := cfg.ProbeInterval
@@ -79,31 +81,20 @@ func (n *Node) enableMembership(cfg membership.Config) {
 	}
 	// Tick faster than the probe interval so ping/probe timeouts are
 	// checked with reasonable granularity (Tick rate-limits the probes
-	// themselves).
+	// themselves). The clock rides the shared timerwheel instead of a
+	// dedicated ticker goroutine; the offer into the command channel is
+	// non-blocking (wheel callbacks must not block), and a dropped tick
+	// just means the next one ≤ interval later advances the detector.
 	if interval /= 4; interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
 	}
-	n.wg.Add(1)
-	go n.probeLoop(interval)
-}
-
-// probeLoop funnels detector clock ticks into the event loop.
-func (n *Node) probeLoop(interval time.Duration) {
-	defer n.wg.Done()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
+	n.addTimer(timerwheel.Default().Every(interval, func(now time.Time) {
 		select {
-		case <-ticker.C:
-			select {
-			case n.cmds <- func(n *Node) { n.membershipTick(time.Now()) }:
-			case <-n.done:
-				return
-			}
-		case <-n.done:
-			return
+		case n.cmds <- func(n *Node) { n.membershipTick(now) }:
+		default:
+			n.stats.Add("membership_tick_skips", 1)
 		}
-	}
+	}))
 }
 
 // membershipTick advances the detector's timers and the adaptation
@@ -119,7 +110,7 @@ func (n *Node) membershipTick(now time.Time) {
 // target evicted from the book but still carried in a ping-req).
 func (n *Node) sendPackets(pkts []membership.Packet) {
 	for _, p := range pkts {
-		addr, ok := n.book[p.To]
+		addr, ok := n.book.get(p.To)
 		if !ok {
 			addr = p.Addr
 		}
@@ -140,7 +131,7 @@ func (n *Node) drainMembership() {
 		case membership.Alive:
 			// New or resurrected member: (re)learn its address.
 			if ev.Addr != "" {
-				n.book[ev.ID] = ev.Addr
+				n.book.set(ev.ID, ev.Addr)
 			}
 		case membership.Suspect:
 			n.stats.Add("membership_suspicions", 1)
@@ -161,8 +152,7 @@ func (n *Node) drainMembership() {
 // stays behind in the detector so book merges cannot resurrect the
 // entry.
 func (n *Node) evictDeadPeer(peer model.NodeID) {
-	if _, ok := n.book[peer]; ok {
-		delete(n.book, peer)
+	if n.book.del(peer) {
 		n.stats.Add("book_evictions", 1)
 	}
 	n.evictPeer(peer)
@@ -215,11 +205,12 @@ func (n *Node) Leave() {
 			return
 		}
 		lv := n.det.MakeLeave()
-		for id := range n.book {
+		n.book.forEach(func(id model.NodeID, _ string) bool {
 			if id != n.id {
 				n.send(id, lv)
 			}
-		}
+			return true
+		})
 		queued <- true
 	}:
 		select {

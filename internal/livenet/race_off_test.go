@@ -1,0 +1,7 @@
+//go:build !race
+
+package livenet
+
+// raceEnabled reports whether this test binary carries race-detector
+// instrumentation (see race_on_test.go).
+const raceEnabled = false

@@ -118,23 +118,31 @@ func (n *Node) pickShard() *engineShard {
 	return n.shards[n.nextShard.Add(1)%uint64(len(n.shards))]
 }
 
-// loop is one shard's event loop: decoded frames, API commands, and the
-// housekeeping sweep.
+// loop is one shard's event loop: decoded frames and API commands. The
+// housekeeping sweep arrives as a command from the node's timerwheel
+// registration (offerSweep) — shards no longer own ticker goroutines.
 func (s *engineShard) loop() {
 	defer s.n.wg.Done()
-	ticker := time.NewTicker(sweepInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case env := <-s.inbox:
 			s.dispatch(env)
 		case cmd := <-s.cmds:
 			cmd(s)
-		case <-ticker.C:
-			s.sweep(time.Now())
 		case <-s.n.done:
 			return
 		}
+	}
+}
+
+// offerSweep hands the shard a sweep tick without blocking (timerwheel
+// callbacks must never block; a shard too busy to take the tick gets the
+// next one ≤ sweepInterval later, which the sweep's semantics tolerate).
+func (s *engineShard) offerSweep(now time.Time) {
+	select {
+	case s.cmds <- func(s *engineShard) { s.sweep(now) }:
+	default:
+		s.n.stats.Add("shard_sweep_skips", 1)
 	}
 }
 
@@ -307,10 +315,15 @@ func (s *engineShard) handleQuery(m overlay.QueryMsg) {
 		s.addHit(m.Category)
 	}
 	var matches []catalog.DocID
-	for _, d := range n.byCat[m.Category] {
-		matches = append(matches, d)
-		if len(matches) == m.Want {
-			break
+	if docs := n.byCat[m.Category]; len(docs) > 0 {
+		// Exact-capacity allocation: the hot path pays one slice alloc,
+		// never an append-grow chain (pinned by TestHandleQueryAllocs).
+		take := m.Want
+		if take > len(docs) {
+			take = len(docs)
+		}
+		if take > 0 {
+			matches = append(make([]catalog.DocID, 0, take), docs[:take]...)
 		}
 	}
 	if len(matches) > 0 {
@@ -320,11 +333,17 @@ func (s *engineShard) handleQuery(m overlay.QueryMsg) {
 		})
 	}
 	if remaining := m.Want - len(matches); remaining > 0 {
-		for _, nb := range n.nrt[entry.Cluster] {
-			n.send(nb, overlay.QueryMsg{
+		if nbs := n.nrt[entry.Cluster]; len(nbs) > 0 {
+			// Box the forwarded message ONCE: send takes `any`, so a
+			// struct literal at each call site would re-box per neighbor —
+			// one interface allocation per flood edge on the hottest path.
+			var fwd any = overlay.QueryMsg{
 				ID: m.ID, Category: m.Category, Want: remaining,
 				Origin: m.Origin, Hops: m.Hops + 1,
-			})
+			}
+			for _, nb := range nbs {
+				n.send(nb, fwd)
+			}
 		}
 	}
 }

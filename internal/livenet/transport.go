@@ -79,6 +79,14 @@ const (
 	// sendQueueCap bounds each peer's outbound queue; enqueue never
 	// blocks the event loop — overflow is dropped and counted.
 	sendQueueCap = 256
+	// defaultWriterIdle is how long a peer's writer goroutine sits with an
+	// empty queue before parking: it closes its stream, exits, and is
+	// respawned lazily by the next enqueue. Writer goroutines therefore
+	// scale with ACTIVE links, not address-book size — the property that
+	// lets a 10k-node in-process cluster idle at a handful of goroutines
+	// per node. Options.WriterIdle overrides it (negative disables
+	// parking).
+	defaultWriterIdle = 45 * time.Second
 	// maxBatchMsgs caps how many queued envelopes one flush coalesces.
 	maxBatchMsgs = 64
 	// writeBufBytes sizes each peer stream's write buffer; a batch that
@@ -102,6 +110,13 @@ type transport struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
+	// writerIdle is the parking timeout (see defaultWriterIdle); negative
+	// disables parking. Set before the node's loops start, read-only after.
+	writerIdle time.Duration
+	// writersActive gauges how many writer goroutines exist right now
+	// (spawned minus parked/exited) — exported as transport_writers_active.
+	writersActive atomic.Int64
+
 	// forceGob skips v2 negotiation on every stream (legacy-node
 	// simulation in tests, codec baseline in benchmarks).
 	forceGob atomic.Bool
@@ -124,6 +139,13 @@ type transport struct {
 type peerConn struct {
 	to    model.NodeID
 	queue chan envelope
+
+	// running reports whether a writer goroutine currently owns the
+	// queue. Guarded by transport.mu — and so is every send into queue —
+	// which is what makes the park/enqueue handoff airtight: a parking
+	// writer re-checks len(queue) under the same lock the producers push
+	// under, so a message either finds a live writer or spawns one.
+	running bool
 
 	// gobOnly is set when negotiation proves the peer is a legacy gob
 	// node — it closed the stream on the preamble, or timed out the ack
@@ -150,12 +172,13 @@ func (p *peerConn) currentAddr() string {
 
 func newTransport(from model.NodeID, seed int64, stats *metrics.SyncCounter) *transport {
 	return &transport{
-		from:    from,
-		seed:    seed,
-		stats:   stats,
-		batches: &metrics.SyncHistogram{},
-		peers:   make(map[model.NodeID]*peerConn),
-		done:    make(chan struct{}),
+		from:       from,
+		seed:       seed,
+		stats:      stats,
+		batches:    &metrics.SyncHistogram{},
+		peers:      make(map[model.NodeID]*peerConn),
+		done:       make(chan struct{}),
+		writerIdle: defaultWriterIdle,
 		dial: func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, dialTimeout)
 		},
@@ -176,24 +199,45 @@ func (t *transport) dialPeer(addr string) (net.Conn, error) {
 	return f(addr)
 }
 
-// enqueue hands an envelope to the peer's writer. It never blocks: a
-// full queue drops the message (counted) rather than stalling the event
-// loop.
+// enqueue hands an envelope to the peer's writer, spawning one if the
+// peer's writer is parked (or never started). It never blocks: a full
+// queue drops the message (counted) rather than stalling the event loop.
 func (t *transport) enqueue(to model.NodeID, addr string, env envelope) {
-	p := t.peer(to, addr)
-	if p == nil {
-		return // transport closed
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		p = &peerConn{to: to, addr: addr, queue: make(chan envelope, sendQueueCap)}
+		t.peers[to] = p
 	}
 	p.setAddr(addr)
+	dropped := false
 	select {
 	case p.queue <- env:
 	default:
+		dropped = true
+	}
+	spawn := !dropped && !p.running
+	if spawn {
+		p.running = true
+		t.wg.Add(1)
+		t.writersActive.Add(1)
+	}
+	t.mu.Unlock()
+	if spawn {
+		go t.run(p)
+	}
+	if dropped {
 		t.stats.Add("transport_drops_queue_full", 1)
 	}
 }
 
-// peer returns the peerConn for a destination, starting its writer on
-// first use. Returns nil after close.
+// peer returns (creating if needed) the peerConn for a destination
+// WITHOUT starting its writer — enqueue owns spawning. Returns nil after
+// close. Exists for tests that inspect per-peer state (gobOnly).
 func (t *transport) peer(to model.NodeID, addr string) *peerConn {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -204,11 +248,26 @@ func (t *transport) peer(to model.NodeID, addr string) *peerConn {
 	if !ok {
 		p = &peerConn{to: to, addr: addr, queue: make(chan envelope, sendQueueCap)}
 		t.peers[to] = p
-		t.wg.Add(1)
-		go t.run(p)
 	}
 	return p
 }
+
+// park retires an idle writer: under t.mu — the same lock every enqueue
+// pushes under — it re-checks the queue and, if still empty, clears
+// running so the next enqueue respawns. Returns false when an envelope
+// raced in, in which case the caller keeps draining.
+func (t *transport) park(p *peerConn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(p.queue) > 0 {
+		return false
+	}
+	p.running = false
+	return true
+}
+
+// writers reports how many writer goroutines are currently live.
+func (t *transport) writers() int64 { return t.writersActive.Load() }
 
 // queueDepth sums the outbound backlog across all peers (a point-in-time
 // gauge).
@@ -270,19 +329,52 @@ type peerWriter struct {
 }
 
 // run is the writer goroutine for one peer: it drains the queue in
-// batches, dialing lazily and reusing the stream across messages.
+// batches, dialing lazily and reusing the stream across messages. A
+// writer whose queue stays empty for writerIdle parks — closes its
+// stream and exits — and the next enqueue respawns it; the respawned
+// writer re-dials, re-negotiates the codec (the sticky gobOnly verdict
+// survives on the peerConn), and re-resolves the peer's current address,
+// so a peer that moved while the link was parked is picked up cleanly.
 func (t *transport) run(p *peerConn) {
 	defer t.wg.Done()
+	defer t.writersActive.Add(-1)
 	w := &peerWriter{
 		t: t, p: p,
 		rng: rand.New(rand.NewSource(t.seed + int64(t.from)*7919 + int64(p.to)*104729)),
 	}
 	defer w.drop()
+	var idle *time.Timer
+	var idleC <-chan time.Time
+	if t.writerIdle > 0 {
+		idle = time.NewTimer(t.writerIdle)
+		defer idle.Stop()
+		idleC = idle.C
+	}
+	resetIdle := func() {
+		if idle == nil {
+			return
+		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(t.writerIdle)
+	}
 	batch := make([]envelope, 0, maxBatchMsgs)
 	for {
 		select {
 		case <-t.done:
 			return
+		case <-idleC:
+			if t.park(p) {
+				t.stats.Add("transport_writer_parks", 1)
+				return
+			}
+			// An envelope raced the timer: keep running, drain it on the
+			// next loop iteration with a fresh idle window.
+			idle.Reset(t.writerIdle)
 		case env := <-p.queue:
 			// Coalesce whatever else is already queued — no waiting, so
 			// a lone envelope still flushes immediately.
@@ -299,6 +391,7 @@ func (t *transport) run(p *peerConn) {
 			if !w.deliver(batch) {
 				return // transport closed mid-backoff
 			}
+			resetIdle()
 		}
 	}
 }

@@ -1,0 +1,482 @@
+// Package memnet is an in-process network fabric: net.Listener and
+// net.Conn implementations backed by in-memory ring buffers instead of
+// kernel sockets. It exists so one process can run paper-scale live
+// clusters — ten thousand livenet nodes and their peer links — without
+// hitting file-descriptor limits or paying kernel socket overhead, while
+// keeping the exact net interfaces the transport, the read loops, and
+// the chaos fault layer are written against.
+//
+// Design constraints, in order:
+//
+//   - Zero goroutines and zero file descriptors per connection. A
+//     memnet conn is two ring buffers and some channels; a listener is
+//     a registry entry plus an accept queue. Ten thousand idle nodes
+//     cost ten thousand registry entries, not ten thousand OS objects.
+//   - Deadline-capable. livenet sets read deadlines (idle reaping) and
+//     write deadlines (batch timeouts) on every stream; net.Pipe's
+//     deadline discipline is reproduced here over buffered pipes.
+//   - Buffered with backpressure. Unlike net.Pipe, writes complete
+//     without a reader in rendezvous — they fill a bounded ring (which
+//     grows on demand up to ringMaxBytes) and block only when it is
+//     full, mirroring a kernel socket buffer. That is what lets the
+//     transport's batch writer coalesce frames exactly as it does over
+//     TCP.
+//   - Composable with fault injection. Conns are plain net.Conn values,
+//     so chaos.Net wraps them unchanged (chaos.Net.SetDial(nw.Dial));
+//     seeded replays stay byte-identical off-kernel.
+//
+// Address model: Listen("host:0") auto-assigns a unique "mem:<n>"
+// address; any other address string is taken verbatim. Dial resolves
+// addresses against the fabric's registry only — two fabrics are fully
+// isolated network universes.
+package memnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	// ringStartBytes is a ring's initial capacity; rings grow by
+	// doubling as writes demand, so short-lived control streams stay
+	// tiny.
+	ringStartBytes = 4 << 10
+	// ringMaxBytes caps one direction's buffering — the "kernel socket
+	// buffer" a writer can fill before blocking. Sized to hold one
+	// maximal transport batch (64KB buffered writer flush) plus slack.
+	ringMaxBytes = 128 << 10
+	// backlog bounds un-accepted connections per listener, after which
+	// dials are refused (ECONNREFUSED-like), as with a SYN backlog.
+	backlog = 512
+)
+
+// Network is one in-process address universe. The zero value is not
+// usable; call New.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*listener
+	next      int
+}
+
+// New builds an empty fabric.
+func New() *Network {
+	return &Network{listeners: make(map[string]*listener)}
+}
+
+// Addr is a memnet endpoint address.
+type Addr string
+
+// Network returns "mem".
+func (a Addr) Network() string { return "mem" }
+func (a Addr) String() string  { return string(a) }
+
+// Listen opens a listener. An address ending in ":0" (any host) gets a
+// unique auto-assigned "mem:<n>" address, mirroring the kernel's
+// ephemeral-port behavior that livenet's Launch relies on; any other
+// address registers verbatim and fails if already bound.
+func (nw *Network) Listen(addr string) (net.Listener, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(addr) >= 2 && addr[len(addr)-2:] == ":0" {
+		nw.next++
+		addr = fmt.Sprintf("mem:%d", nw.next)
+	} else if _, taken := nw.listeners[addr]; taken {
+		return nil, fmt.Errorf("memnet: address %s already bound", addr)
+	}
+	l := &listener{
+		nw:   nw,
+		addr: Addr(addr),
+		pend: make(chan net.Conn, backlog),
+		done: make(chan struct{}),
+	}
+	nw.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening address. There is no handshake latency:
+// the connection exists as soon as it is queued on the listener's
+// backlog, exactly like a TCP dial completing against the SYN queue
+// before the application calls Accept.
+func (nw *Network) Dial(addr string) (net.Conn, error) {
+	nw.mu.Lock()
+	l := nw.listeners[addr]
+	nw.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: Addr(addr),
+			Err: fmt.Errorf("connection refused")}
+	}
+	c2s := newRing() // client writes, server reads
+	s2c := newRing() // server writes, client reads
+	client := &conn{rd: s2c, wr: c2s, local: "mem:dial", remote: l.addr}
+	server := &conn{rd: c2s, wr: s2c, local: l.addr, remote: "mem:dial"}
+	select {
+	case l.pend <- server:
+		return client, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: Addr(addr),
+			Err: fmt.Errorf("connection refused")}
+	default:
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: Addr(addr),
+			Err: fmt.Errorf("connection refused: backlog full")}
+	}
+}
+
+// listener implements net.Listener over the fabric registry.
+type listener struct {
+	nw   *Network
+	addr Addr
+	pend chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.pend:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "mem", Addr: l.addr,
+			Err: fmt.Errorf("use of closed network connection")}
+	}
+}
+
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		l.nw.mu.Lock()
+		if l.nw.listeners[string(l.addr)] == l {
+			delete(l.nw.listeners, string(l.addr))
+		}
+		l.nw.mu.Unlock()
+		close(l.done)
+		// Connections already queued but never accepted are dead: close
+		// them so their dialers see EOF/reset instead of hanging.
+		for {
+			select {
+			case c := <-l.pend:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return l.addr }
+
+// ring is one direction's byte buffer: a growable circular buffer with
+// close flags for each side and broadcast wakeups for blocked readers
+// and writers. No goroutines; waiting is done by the calling goroutine
+// selecting on a wakeup channel and a deadline.
+type ring struct {
+	mu   sync.Mutex
+	buf  []byte
+	r    int  // read offset
+	n    int  // bytes buffered
+	werr bool // write side closed: readers drain then EOF
+	rerr bool // read side closed: writes fail immediately
+	// dataWake is non-nil while readers wait for bytes; spaceWake while
+	// writers wait for room. Closing the channel is the broadcast.
+	dataWake  chan struct{}
+	spaceWake chan struct{}
+}
+
+func newRing() *ring {
+	return &ring{buf: make([]byte, ringStartBytes)}
+}
+
+// wakeReaders/wakeWriters broadcast to the corresponding waiters.
+// Caller holds mu.
+func (rg *ring) wakeReaders() {
+	if rg.dataWake != nil {
+		close(rg.dataWake)
+		rg.dataWake = nil
+	}
+}
+
+func (rg *ring) wakeWriters() {
+	if rg.spaceWake != nil {
+		close(rg.spaceWake)
+		rg.spaceWake = nil
+	}
+}
+
+// grow doubles the ring up to ringMaxBytes, linearizing content.
+// Caller holds mu; returns free space after growing.
+func (rg *ring) grow() int {
+	if len(rg.buf) >= ringMaxBytes {
+		return len(rg.buf) - rg.n
+	}
+	size := len(rg.buf) * 2
+	if size > ringMaxBytes {
+		size = ringMaxBytes
+	}
+	nb := make([]byte, size)
+	rg.copyOut(nb[:rg.n])
+	rg.buf, rg.r = nb, 0
+	return len(rg.buf) - rg.n
+}
+
+// copyOut copies the first len(p) buffered bytes into p without
+// consuming them. Caller holds mu and guarantees len(p) <= rg.n.
+func (rg *ring) copyOut(p []byte) {
+	first := len(rg.buf) - rg.r
+	if first > len(p) {
+		first = len(p)
+	}
+	copy(p[:first], rg.buf[rg.r:rg.r+first])
+	copy(p[first:], rg.buf[:len(p)-first])
+}
+
+// write appends as much of p as fits, returning bytes consumed and
+// whether the read side is gone. Caller holds mu.
+func (rg *ring) write(p []byte) int {
+	free := len(rg.buf) - rg.n
+	if free < len(p) {
+		free = rg.grow()
+	}
+	w := (rg.r + rg.n) % len(rg.buf)
+	take := len(p)
+	if take > free {
+		take = free
+	}
+	first := len(rg.buf) - w
+	if first > take {
+		first = take
+	}
+	copy(rg.buf[w:w+first], p[:first])
+	copy(rg.buf[:take-first], p[first:take])
+	rg.n += take
+	if take > 0 {
+		rg.wakeReaders()
+	}
+	return take
+}
+
+// read consumes up to len(p) buffered bytes. Caller holds mu.
+func (rg *ring) read(p []byte) int {
+	take := rg.n
+	if take > len(p) {
+		take = len(p)
+	}
+	if take == 0 {
+		return 0
+	}
+	rg.copyOut(p[:take])
+	rg.r = (rg.r + take) % len(rg.buf)
+	rg.n -= take
+	rg.wakeWriters()
+	return take
+}
+
+// closeWrite marks the producer gone (readers drain then EOF);
+// closeRead marks the consumer gone (writes fail, buffered data is
+// dropped). Both wake everyone.
+func (rg *ring) closeWrite() {
+	rg.mu.Lock()
+	rg.werr = true
+	rg.wakeReaders()
+	rg.wakeWriters()
+	rg.mu.Unlock()
+}
+
+func (rg *ring) closeRead() {
+	rg.mu.Lock()
+	rg.rerr = true
+	rg.n = 0
+	rg.wakeReaders()
+	rg.wakeWriters()
+	rg.mu.Unlock()
+}
+
+// deadline manages one direction's deadline as net.Pipe does: a timer
+// that closes a channel when the deadline passes, recreated on reset.
+type deadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{} // closed when the deadline fires; nil = none set
+}
+
+// set arms (or clears, for the zero time) the deadline.
+func (d *deadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	fired := false
+	if d.cancel != nil {
+		select {
+		case <-d.cancel:
+			fired = true
+		default:
+		}
+	}
+	if t.IsZero() {
+		// Cleared. Waiters holding an un-fired channel keep blocking on
+		// it (it will never fire now); future waits see no deadline.
+		d.cancel = nil
+		return
+	}
+	if d.cancel == nil || fired {
+		d.cancel = make(chan struct{})
+	}
+	dur := time.Until(t)
+	if dur <= 0 {
+		close(d.cancel)
+		return
+	}
+	cancel := d.cancel
+	d.timer = time.AfterFunc(dur, func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		select {
+		case <-cancel:
+		default:
+			close(cancel)
+		}
+	})
+}
+
+// wait returns the channel closed when the deadline fires (nil when no
+// deadline is set — a nil channel blocks forever in select, which is
+// exactly right).
+func (d *deadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+// expired reports whether a set deadline has already fired.
+func (d *deadline) expired() bool {
+	ch := d.wait()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// conn is one endpoint of a memnet connection.
+type conn struct {
+	rd, wr        *ring
+	local, remote Addr
+	rdead, wdead  deadline
+	closed        sync.Once
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if c.rdead.expired() {
+			return 0, timeoutError("read", c.remote)
+		}
+		rg := c.rd
+		rg.mu.Lock()
+		if rg.rerr {
+			rg.mu.Unlock()
+			return 0, &net.OpError{Op: "read", Net: "mem", Addr: c.local,
+				Err: fmt.Errorf("use of closed network connection")}
+		}
+		if n := rg.read(p); n > 0 {
+			rg.mu.Unlock()
+			return n, nil
+		}
+		if rg.werr {
+			rg.mu.Unlock()
+			// The real io.EOF, not a lookalike: bufio.Peek, io.ReadFull,
+			// and the transport's legacy-peer classification all match on
+			// identity.
+			return 0, io.EOF
+		}
+		if rg.dataWake == nil {
+			rg.dataWake = make(chan struct{})
+		}
+		wake := rg.dataWake
+		rg.mu.Unlock()
+		select {
+		case <-wake:
+		case <-c.rdead.wait():
+			return 0, timeoutError("read", c.remote)
+		}
+	}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		if c.wdead.expired() {
+			return written, timeoutError("write", c.remote)
+		}
+		rg := c.wr
+		rg.mu.Lock()
+		if rg.rerr || rg.werr {
+			rg.mu.Unlock()
+			return written, &net.OpError{Op: "write", Net: "mem", Addr: c.remote,
+				Err: fmt.Errorf("connection reset by peer")}
+		}
+		if n := rg.write(p[written:]); n > 0 {
+			written += n
+			rg.mu.Unlock()
+			continue
+		}
+		if rg.spaceWake == nil {
+			rg.spaceWake = make(chan struct{})
+		}
+		wake := rg.spaceWake
+		rg.mu.Unlock()
+		select {
+		case <-wake:
+		case <-c.wdead.wait():
+			return written, timeoutError("write", c.remote)
+		}
+	}
+	return written, nil
+}
+
+// Close tears down both directions: our outstanding writes are
+// delivered (the peer drains, then reads EOF), our read side drops
+// undelivered bytes and fails the peer's future writes — TCP close
+// semantics, minus the RST subtleties.
+func (c *conn) Close() error {
+	c.closed.Do(func() {
+		c.wr.closeWrite()
+		c.rd.closeRead()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rdead.set(t)
+	c.wdead.set(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error  { c.rdead.set(t); return nil }
+func (c *conn) SetWriteDeadline(t time.Time) error { c.wdead.set(t); return nil }
+
+// timeoutError matches net package behavior: a deadline expiry is a
+// net.Error with Timeout() true, which is what the transport's
+// negotiate/classify logic keys on.
+func timeoutError(op string, addr Addr) error {
+	return &net.OpError{Op: op, Net: "mem", Addr: addr, Err: timeoutErr{}}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }

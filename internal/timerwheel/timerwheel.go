@@ -1,0 +1,186 @@
+// Package timerwheel is a shared timer service for periodic work: many
+// coarse periodic callbacks multiplexed onto ONE goroutine, instead of
+// one time.Ticker goroutine per timer.
+//
+// livenet's per-node housekeeping — membership probe ticks, adaptation
+// epoch ticks, per-shard sweeps — used to cost three-plus dedicated
+// ticker goroutines per node. At paper scale (a 10k-node in-process
+// cluster) that is tens of thousands of goroutines and runtime timers
+// doing nothing but sleeping. All of them now register here: the wheel
+// keeps a min-heap of (next-fire, period, callback) entries, sleeps
+// until the earliest, fires what is due, and reschedules. The goroutine
+// itself is lazy — it starts with the first registration and exits when
+// the last timer stops, so an idle process pays nothing.
+//
+// Callbacks run on the wheel goroutine and MUST NOT block: livenet's
+// registrations only do non-blocking channel offers into the loops that
+// own the real work. A slow callback delays every other timer — that is
+// the deal one shared goroutine implies, and the callers here accept it
+// because dropped or delayed periodic ticks are harmless by design.
+package timerwheel
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Wheel multiplexes periodic callbacks onto one goroutine.
+type Wheel struct {
+	mu      sync.Mutex
+	entries timerHeap
+	seq     uint64
+	running bool
+	// wake nudges the loop after the heap changed under it (earlier
+	// deadline registered, or an entry stopped).
+	wake chan struct{}
+}
+
+// entry is one registered periodic timer.
+type entry struct {
+	id     uint64
+	next   time.Time
+	period time.Duration
+	fn     func(now time.Time)
+	stop   bool // unregistered; dropped when popped
+	index  int  // heap bookkeeping
+}
+
+// New builds an empty wheel.
+func New() *Wheel {
+	return &Wheel{wake: make(chan struct{}, 1)}
+}
+
+// shared is the process-wide wheel every node registers with.
+var shared = New()
+
+// Default returns the process-wide wheel.
+func Default() *Wheel { return shared }
+
+// Every registers fn to run every period (first fire one period from
+// now) and returns a stop function. Stop is idempotent and safe to call
+// from anywhere, including fn itself. fn runs on the wheel goroutine
+// and must not block.
+func (w *Wheel) Every(period time.Duration, fn func(now time.Time)) (stop func()) {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	w.mu.Lock()
+	w.seq++
+	e := &entry{id: w.seq, next: time.Now().Add(period), period: period, fn: fn}
+	heap.Push(&w.entries, e)
+	starting := !w.running
+	if starting {
+		w.running = true
+	}
+	w.mu.Unlock()
+	if starting {
+		go w.loop()
+	} else {
+		w.nudge()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			w.mu.Lock()
+			e.stop = true
+			if e.index >= 0 {
+				heap.Remove(&w.entries, e.index)
+			}
+			w.mu.Unlock()
+			w.nudge()
+		})
+	}
+}
+
+// Timers reports how many periodic timers are registered (tests and
+// introspection).
+func (w *Wheel) Timers() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.entries.Len()
+}
+
+func (w *Wheel) nudge() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the wheel goroutine: sleep until the earliest deadline, fire
+// everything due, reschedule, exit when the heap drains.
+func (w *Wheel) loop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		now := time.Now()
+		// Fire everything due. Callbacks run outside the lock so they
+		// can (non-blockingly) interact with code that registers timers.
+		var due []*entry
+		for w.entries.Len() > 0 {
+			e := w.entries[0]
+			if e.next.After(now) {
+				break
+			}
+			due = append(due, e)
+			e.next = now.Add(e.period)
+			heap.Fix(&w.entries, 0)
+		}
+		if w.entries.Len() == 0 && len(due) == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		var wait time.Duration
+		if w.entries.Len() > 0 {
+			wait = time.Until(w.entries[0].next)
+		}
+		w.mu.Unlock()
+
+		for _, e := range due {
+			// stop() may have raced the pop; honor it without firing.
+			w.mu.Lock()
+			stopped := e.stop
+			w.mu.Unlock()
+			if !stopped {
+				e.fn(now)
+			}
+		}
+		if len(due) > 0 {
+			continue // recompute the wait with post-callback state
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-w.wake:
+		}
+	}
+}
+
+// timerHeap orders entries by next fire time.
+type timerHeap []*entry
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].next.Before(h[j].next) }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *timerHeap) Push(x any)        { e := x.(*entry); e.index = len(*h); *h = append(*h, e) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

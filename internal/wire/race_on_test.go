@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation counts —
+// AllocsPerRun pins skip themselves under it.
+const raceEnabled = true

@@ -59,25 +59,34 @@ var encPool = sync.Pool{
 }
 
 // WriteEnvelope frames env (uvarint length prefix + payload) onto w.
-// The payload is staged in a pooled scratch buffer, so the frame reaches
-// the buffered writer in exactly two Write calls and no allocations.
+// The whole frame — header included — is staged in a pooled scratch
+// buffer, so it reaches the buffered writer in ONE Write call and no
+// allocations: a stack-local header array passed to w.Write would escape
+// (the analyzer cannot see that bufio does not retain it) and cost one
+// heap allocation per frame, so the length prefix is instead encoded
+// right-aligned into space reserved at the front of the scratch buffer.
 func WriteEnvelope(w *bufio.Writer, env Envelope) error {
+	const hdrMax = binary.MaxVarintLen64
 	bp := encPool.Get().(*[]byte)
-	b, err := AppendEnvelope((*bp)[:0], env)
-	*bp = b[:0] // keep grown capacity for the next borrower
 	defer encPool.Put(bp)
+	scratch := *bp
+	if cap(scratch) < hdrMax {
+		scratch = make([]byte, hdrMax, 1024)
+	}
+	b, err := AppendEnvelope(scratch[:hdrMax], env)
+	*bp = b[:0] // keep grown capacity for the next borrower
 	if err != nil {
 		return err
 	}
-	if len(b) > MaxFrameBytes {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(b), MaxFrameBytes)
+	payload := len(b) - hdrMax
+	if payload > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", payload, MaxFrameBytes)
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(b)))
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return err
-	}
-	_, err = w.Write(b)
+	// Right-align the uvarint length against the payload.
+	n := binary.PutUvarint(b[:hdrMax], uint64(payload))
+	start := hdrMax - n
+	copy(b[start:hdrMax], b[:n])
+	_, err = w.Write(b[start:])
 	return err
 }
 
