@@ -42,6 +42,12 @@ func statsReport(node *livenet.Node) *proto.StatsReport {
 		r.LatP95 = lat.Quantile(0.95)
 		r.LatP99 = lat.Quantile(0.99)
 	}
+	if tput := node.TransferThroughput(); tput.Count() > 0 {
+		r.XferCount = tput.Count()
+		r.XferP50KBps = tput.Quantile(0.5)
+		r.XferP95KBps = tput.Quantile(0.95)
+		r.XferP99KBps = tput.Quantile(0.99)
+	}
 	return r
 }
 
@@ -83,6 +89,59 @@ func machineLoad(node *livenet.Node, spec proto.LoadSpec) (*proto.LoadReport, er
 	var repMu sync.Mutex
 	start := time.Now()
 	var wg sync.WaitGroup
+
+	// The bulk workload rides alongside the queries on its own workers:
+	// whole-document fetches with rank-Zipf document sampling. The two
+	// streams sharing every link is the point — the harness measures
+	// query latency while the bulk lane is saturated.
+	if spec.Fetches > 0 {
+		fworkers := spec.FetchConcurrency
+		if fworkers < 1 {
+			fworkers = 1
+		}
+		ftimeout := 60 * time.Second
+		if spec.FetchTimeoutMS > 0 {
+			ftimeout = time.Duration(spec.FetchTimeoutMS) * time.Millisecond
+		}
+		docs := node.Instance().Catalog.Docs
+		for w := 0; w < fworkers; w++ {
+			quota := spec.Fetches / fworkers
+			if w < spec.Fetches%fworkers {
+				quota++
+			}
+			wg.Add(1)
+			go func(w, quota int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(spec.Seed + 104729 + int64(w)*7919))
+				var zipf *rand.Zipf
+				if spec.FetchZipfS > 1 {
+					zipf = rand.NewZipf(rng, spec.FetchZipfS, 1, uint64(len(docs)-1))
+				}
+				for i := 0; i < quota; i++ {
+					var d catalog.DocID
+					if zipf != nil {
+						d = docs[zipf.Uint64()].ID
+					} else {
+						d = docs[rng.Intn(len(docs))].ID
+					}
+					fctx, cancel := context.WithTimeout(context.Background(), ftimeout)
+					t0 := time.Now()
+					data, err := node.Fetch(fctx, d)
+					cancel()
+					repMu.Lock()
+					if err != nil {
+						rep.FetchFailed++
+					} else {
+						rep.FetchOK++
+						rep.FetchBytes += int64(len(data))
+						rep.FetchLatencyMS = append(rep.FetchLatencyMS, float64(time.Since(t0))/float64(time.Millisecond))
+					}
+					repMu.Unlock()
+				}
+			}(w, quota)
+		}
+	}
+
 	for w := 0; w < workers; w++ {
 		// Each worker gets its own count slice and pacing/skew rng so the
 		// stream is deterministic regardless of scheduling.

@@ -76,6 +76,10 @@ func printStats(node *livenet.Node) {
 	if batches := node.BatchSizes(); batches.Count() > 0 {
 		fmt.Printf("write batches (msgs/flush): %s\n", batches.Summary())
 	}
+	if tput := node.TransferThroughput(); tput.Count() > 0 {
+		fmt.Printf("transfer throughput (KB/s, %d transfers): p50 %.0f p95 %.0f p99 %.0f\n",
+			tput.Count(), tput.Quantile(0.5), tput.Quantile(0.95), tput.Quantile(0.99))
+	}
 }
 
 // runLoadgen drives the deployment from this node with concurrent
@@ -190,6 +194,8 @@ func main() {
 	adaptEvery := flag.Duration("adapt-interval", 0, "online rebalancing epoch length (0 = adaptation off)")
 	fairThresh := flag.Float64("fairness-threshold", 0.83, "fairness index below which the chosen leader rebalances")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	contentOn := flag.Bool("content", false, "enable the content data plane (chunk store, Fetch, byte-shipping moves)")
+	docBytes := flag.Int64("docbytes", 0, "shape: bytes per document (0 = catalog default, 4 MB)")
 	shards := flag.Int("shards", 0, "engine shards (parallel query loops; 0 = GOMAXPROCS, min 2, max 64)")
 	maxInFlight := flag.Int("maxinflight", 0, "admission bound on concurrently served queries (0 = default)")
 	harnessMode := flag.Bool("harness", false, "machine mode: speak the harness JSON protocol on stdin/stdout")
@@ -208,7 +214,7 @@ func main() {
 
 	shape := livenet.Shape{
 		Documents: *docs, Categories: *cats, Nodes: *nodes,
-		Clusters: *clusters, Seed: *seed,
+		Clusters: *clusters, Seed: *seed, DocBytes: *docBytes,
 	}
 	// The whole birth configuration is one Options struct; only runtime
 	// re-tuning still goes through setters.
@@ -225,6 +231,9 @@ func main() {
 			Interval:     *adaptEvery,
 			LowThreshold: *fairThresh,
 		}
+	}
+	if *contentOn {
+		opts.Content = &livenet.ContentConfig{}
 	}
 	// Machine mode runs every link through a chaos controller so the
 	// orchestrator can inject faults mid-act. Seeded per process: each

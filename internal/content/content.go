@@ -1,0 +1,430 @@
+// Package content is the data plane's storage layer: fixed-size
+// content-addressed chunks, per-document manifests listing SHA-256
+// chunk hashes, and a verifying reassembly buffer that supports
+// resume-from-last-verified-chunk.
+//
+// The store holds two kinds of documents. Put installs explicit bytes
+// (a node that published or downloaded real content). Register marks a
+// document synthetic: its bytes are generated deterministically from
+// (doc id, byte offset), so every replica holder serves an identical,
+// verifiable stream with zero resident memory — the stand-in for "the
+// file is on this peer's disk" at simulation scale.
+package content
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"p2pshare/internal/catalog"
+)
+
+// DefaultChunkSize is the transfer unit. 64 KB sits well under the wire
+// codec's 4 MB frame cap while keeping per-chunk overhead (one frame
+// header + 32-byte hash) below 0.1%.
+const DefaultChunkSize = 64 << 10
+
+// HashSize is the size of a chunk id in the manifest hash blob.
+const HashSize = sha256.Size
+
+var (
+	// ErrBadIndex reports a chunk index outside the manifest.
+	ErrBadIndex = errors.New("content: chunk index out of range")
+	// ErrHashMismatch reports chunk bytes that fail verification
+	// against the manifest — corruption or a hostile sender.
+	ErrHashMismatch = errors.New("content: chunk hash mismatch")
+	// ErrIncomplete reports an assembly read before every chunk landed.
+	ErrIncomplete = errors.New("content: assembly incomplete")
+)
+
+// Manifest is the per-document chunk table: document size, chunk size,
+// and the SHA-256 of every chunk concatenated into one blob (the wire
+// representation). A fetcher that holds the manifest can verify each
+// arriving chunk independently and resume from any prefix.
+type Manifest struct {
+	Doc       catalog.DocID
+	Size      int64
+	ChunkSize int
+	Hashes    []byte // NumChunks * HashSize bytes
+}
+
+// NumChunks is ceil(Size / ChunkSize).
+func (m *Manifest) NumChunks() int {
+	if m.Size <= 0 || m.ChunkSize <= 0 {
+		return 0
+	}
+	return int((m.Size + int64(m.ChunkSize) - 1) / int64(m.ChunkSize))
+}
+
+// ChunkLen is the byte length of chunk i (the tail chunk may be short).
+func (m *Manifest) ChunkLen(i int) int {
+	n := m.NumChunks()
+	if i < 0 || i >= n {
+		return 0
+	}
+	if i == n-1 {
+		if rem := m.Size % int64(m.ChunkSize); rem != 0 {
+			return int(rem)
+		}
+	}
+	return m.ChunkSize
+}
+
+// Hash returns the stored hash of chunk i (nil if out of range).
+func (m *Manifest) Hash(i int) []byte {
+	if i < 0 || (i+1)*HashSize > len(m.Hashes) {
+		return nil
+	}
+	return m.Hashes[i*HashSize : (i+1)*HashSize]
+}
+
+// Verify checks chunk i's bytes against the manifest.
+func (m *Manifest) Verify(i int, data []byte) bool {
+	want := m.Hash(i)
+	if want == nil || len(data) != m.ChunkLen(i) {
+		return false
+	}
+	got := sha256.Sum256(data)
+	return string(got[:]) == string(want)
+}
+
+// Valid reports whether the manifest is internally consistent — the
+// hash blob covers exactly NumChunks chunks and sizes are sane. Wire
+// handlers call this before trusting a received manifest.
+func (m *Manifest) Valid() bool {
+	if m.Size < 0 || m.ChunkSize <= 0 {
+		return false
+	}
+	return len(m.Hashes) == m.NumChunks()*HashSize
+}
+
+// Root is a single hash pinning the whole manifest (doc id, size,
+// chunk size, every chunk hash) — what tests and callers compare to
+// assert byte-identical transfers.
+func (m *Manifest) Root() [HashSize]byte {
+	h := sha256.New()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(m.Doc))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.Size))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(m.ChunkSize))
+	h.Write(hdr[:])
+	h.Write(m.Hashes)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// BuildManifest chunks data and hashes every chunk.
+func BuildManifest(doc catalog.DocID, data []byte, chunkSize int) *Manifest {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	m := &Manifest{Doc: doc, Size: int64(len(data)), ChunkSize: chunkSize}
+	m.Hashes = make([]byte, 0, m.NumChunks()*HashSize)
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		h := sha256.Sum256(data[off:end])
+		m.Hashes = append(m.Hashes, h[:]...)
+	}
+	return m
+}
+
+// splitmix64 is the synthetic byte generator's word function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// syntheticFill writes doc's bytes for [off, off+len(dst)) into dst.
+// Byte content is a pure function of (doc, absolute offset), so chunk
+// boundaries — and therefore chunk size — never change the stream.
+func syntheticFill(doc catalog.DocID, off int64, dst []byte) {
+	seed := splitmix64(uint64(doc)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	i := 0
+	for i < len(dst) {
+		word := uint64(off+int64(i)) >> 3
+		v := splitmix64(seed ^ word*0xd1342543de82ef95)
+		// Position within the 8-byte word this offset falls in.
+		for b := int((off + int64(i)) & 7); b < 8 && i < len(dst); b++ {
+			dst[i] = byte(v >> (8 * b))
+			i++
+		}
+	}
+}
+
+// SyntheticChunk materializes chunk idx of a synthetic document.
+func SyntheticChunk(doc catalog.DocID, size int64, chunkSize, idx int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	off := int64(idx) * int64(chunkSize)
+	if idx < 0 || off >= size {
+		return nil
+	}
+	n := int64(chunkSize)
+	if off+n > size {
+		n = size - off
+	}
+	dst := make([]byte, n)
+	syntheticFill(doc, off, dst)
+	return dst
+}
+
+// SyntheticDoc materializes a whole synthetic document — the oracle
+// tests compare fetched bytes against.
+func SyntheticDoc(doc catalog.DocID, size int64) []byte {
+	dst := make([]byte, size)
+	syntheticFill(doc, 0, dst)
+	return dst
+}
+
+// docEntry is one held document: explicit bytes, or synthetic (data
+// nil) where only the size is recorded.
+type docEntry struct {
+	data []byte
+	size int64
+}
+
+// Store is a node's chunk store: the set of documents it can serve,
+// with cached manifests. Safe for concurrent use; reads (Chunk,
+// Manifest on a cached doc) take only an RLock, so many transfer
+// streams can be served in parallel.
+type Store struct {
+	mu        sync.RWMutex
+	chunkSize int
+	docs      map[catalog.DocID]docEntry
+	manifests map[catalog.DocID]*Manifest
+}
+
+// NewStore creates a store serving chunks of the given size
+// (0 → DefaultChunkSize).
+func NewStore(chunkSize int) *Store {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Store{
+		chunkSize: chunkSize,
+		docs:      make(map[catalog.DocID]docEntry),
+		manifests: make(map[catalog.DocID]*Manifest),
+	}
+}
+
+// ChunkSize returns the store's transfer unit.
+func (s *Store) ChunkSize() int { return s.chunkSize }
+
+// Register marks doc as held with synthetic backing of the given size.
+// An existing explicit blob is left in place (real bytes win).
+func (s *Store) Register(doc catalog.DocID, size int64) {
+	if size < 0 {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.docs[doc]; !ok || e.data == nil {
+		if !ok || e.size != size {
+			s.docs[doc] = docEntry{size: size}
+			delete(s.manifests, doc)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Put installs explicit bytes for doc (replacing any synthetic
+// registration) and returns its manifest.
+func (s *Store) Put(doc catalog.DocID, data []byte) *Manifest {
+	m := BuildManifest(doc, data, s.chunkSize)
+	s.mu.Lock()
+	s.docs[doc] = docEntry{data: data, size: int64(len(data))}
+	s.manifests[doc] = m
+	s.mu.Unlock()
+	return m
+}
+
+// Drop forgets doc entirely.
+func (s *Store) Drop(doc catalog.DocID) {
+	s.mu.Lock()
+	delete(s.docs, doc)
+	delete(s.manifests, doc)
+	s.mu.Unlock()
+}
+
+// Has reports whether this store can serve doc.
+func (s *Store) Has(doc catalog.DocID) bool {
+	s.mu.RLock()
+	_, ok := s.docs[doc]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Len is the number of held documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	n := len(s.docs)
+	s.mu.RUnlock()
+	return n
+}
+
+// Manifest returns doc's manifest, computing and caching it on first
+// use (synthetic documents hash their generated chunks once).
+func (s *Store) Manifest(doc catalog.DocID) (*Manifest, bool) {
+	s.mu.RLock()
+	m, ok := s.manifests[doc]
+	e, held := s.docs[doc]
+	s.mu.RUnlock()
+	if ok {
+		return m, true
+	}
+	if !held {
+		return nil, false
+	}
+	if e.data != nil {
+		m = BuildManifest(doc, e.data, s.chunkSize)
+	} else {
+		m = syntheticManifest(doc, e.size, s.chunkSize)
+	}
+	s.mu.Lock()
+	// Another goroutine may have raced us here; either result is
+	// identical, so last-write-wins is fine.
+	s.manifests[doc] = m
+	s.mu.Unlock()
+	return m, true
+}
+
+func syntheticManifest(doc catalog.DocID, size int64, chunkSize int) *Manifest {
+	m := &Manifest{Doc: doc, Size: size, ChunkSize: chunkSize}
+	n := m.NumChunks()
+	m.Hashes = make([]byte, 0, n*HashSize)
+	buf := make([]byte, chunkSize)
+	for i := 0; i < n; i++ {
+		c := buf[:m.ChunkLen(i)]
+		syntheticFill(doc, int64(i)*int64(chunkSize), c)
+		h := sha256.Sum256(c)
+		m.Hashes = append(m.Hashes, h[:]...)
+	}
+	return m
+}
+
+// Chunk returns the bytes of chunk idx, or false if the doc is not
+// held or the index is out of range. Synthetic chunks are generated on
+// the fly; explicit chunks alias the stored blob (callers must not
+// mutate the returned slice).
+func (s *Store) Chunk(doc catalog.DocID, idx int) ([]byte, bool) {
+	s.mu.RLock()
+	e, ok := s.docs[doc]
+	s.mu.RUnlock()
+	if !ok || idx < 0 {
+		return nil, false
+	}
+	off := int64(idx) * int64(s.chunkSize)
+	if off >= e.size {
+		return nil, false
+	}
+	end := off + int64(s.chunkSize)
+	if end > e.size {
+		end = e.size
+	}
+	if e.data != nil {
+		return e.data[off:end], true
+	}
+	dst := make([]byte, end-off)
+	syntheticFill(doc, off, dst)
+	return dst, true
+}
+
+// Bytes materializes the full document (for local hits in Fetch).
+func (s *Store) Bytes(doc catalog.DocID) ([]byte, bool) {
+	s.mu.RLock()
+	e, ok := s.docs[doc]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if e.data != nil {
+		out := make([]byte, len(e.data))
+		copy(out, e.data)
+		return out, true
+	}
+	return SyntheticDoc(doc, e.size), true
+}
+
+// Assembly reassembles a document from chunks, verifying each against
+// the manifest as it lands. It is the resume point: after a source
+// dies, Missing lists exactly the chunks still owed and every verified
+// chunk is kept.
+type Assembly struct {
+	man  *Manifest
+	buf  []byte
+	have []bool
+	got  int
+}
+
+// NewAssembly allocates the reassembly buffer for m.
+func NewAssembly(m *Manifest) *Assembly {
+	return &Assembly{
+		man:  m,
+		buf:  make([]byte, m.Size),
+		have: make([]bool, m.NumChunks()),
+	}
+}
+
+// Manifest returns the manifest being assembled against.
+func (a *Assembly) Manifest() *Manifest { return a.man }
+
+// Add verifies and installs chunk idx. It returns (true, nil) when the
+// chunk was new and verified, (false, nil) for a duplicate of an
+// already-verified chunk, and (false, err) for a bad index or hash
+// mismatch.
+func (a *Assembly) Add(idx int, data []byte) (bool, error) {
+	if idx < 0 || idx >= len(a.have) {
+		return false, fmt.Errorf("%w: %d of %d", ErrBadIndex, idx, len(a.have))
+	}
+	if a.have[idx] {
+		return false, nil
+	}
+	if !a.man.Verify(idx, data) {
+		return false, fmt.Errorf("%w: chunk %d", ErrHashMismatch, idx)
+	}
+	copy(a.buf[int64(idx)*int64(a.man.ChunkSize):], data)
+	a.have[idx] = true
+	a.got++
+	return true, nil
+}
+
+// Complete reports whether every chunk has been verified.
+func (a *Assembly) Complete() bool { return a.got == len(a.have) }
+
+// Got is the number of verified chunks so far.
+func (a *Assembly) Got() int { return a.got }
+
+// Missing returns up to limit indexes of chunks not yet verified
+// (limit <= 0 means all), in ascending order.
+func (a *Assembly) Missing(limit int) []int {
+	if limit <= 0 {
+		limit = len(a.have)
+	}
+	var out []int
+	for i, ok := range a.have {
+		if !ok {
+			out = append(out, i)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Bytes returns the assembled document; ErrIncomplete until every
+// chunk verified.
+func (a *Assembly) Bytes() ([]byte, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("%w: %d/%d chunks", ErrIncomplete, a.got, len(a.have))
+	}
+	return a.buf, nil
+}

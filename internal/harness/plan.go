@@ -46,6 +46,14 @@ type Act struct {
 	HotFraction float64 `json:"hot_fraction,omitempty"`
 	IntervalMS  int     `json:"interval_ms,omitempty"`
 	TimeoutMS   int     `json:"timeout_ms,omitempty"`
+	// FetchesPerNode adds a bulk workload alongside the queries: each
+	// node runs this many whole-document fetches on FetchConcurrency
+	// workers, documents sampled rank-Zipf with FetchZipfS (> 1; lower
+	// means uniform). Requires Plan.Content.
+	FetchesPerNode   int     `json:"fetches_per_node,omitempty"`
+	FetchConcurrency int     `json:"fetch_concurrency,omitempty"`
+	FetchZipfS       float64 `json:"fetch_zipf_s,omitempty"`
+	FetchTimeoutMS   int     `json:"fetch_timeout_ms,omitempty"`
 	// KillNodes are hard-killed before the act's load; RestartNodes are
 	// brought back (same id, fresh port) before it.
 	KillNodes    []int `json:"kill_nodes,omitempty"`
@@ -83,6 +91,12 @@ type Plan struct {
 	Docs     int   `json:"docs"`
 	Cats     int   `json:"cats"`
 	Seed     int64 `json:"seed"`
+
+	// Content enables the content data plane on every node (chunk
+	// store, Fetch, byte-shipping moves); DocBytes sizes each document
+	// (0 = the catalog default, 4 MB — oversized for harness runs).
+	Content  bool  `json:"content,omitempty"`
+	DocBytes int64 `json:"doc_bytes,omitempty"`
 
 	// Per-node configuration (0 = the node's default).
 	Shards            int     `json:"shards,omitempty"`

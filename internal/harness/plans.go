@@ -184,6 +184,47 @@ func Lossy() Plan {
 	}
 }
 
+// Bulkmix is the content-plane stress: whole-document fetches under
+// Zipf skew running alongside the query workload. The data points of
+// interest are fetch completion (manifest-verified) and whether query
+// tail latency survives megabytes of bulk frames on the same links —
+// the priority-lane separation in the batch writer is what's on trial.
+func Bulkmix() Plan {
+	return Plan{
+		Name: "bulkmix",
+		Overview: "Content data plane under load: 20 processes, a query-only " +
+			"baseline act, then Zipf-skewed whole-document fetches concurrent " +
+			"with queries; tracks fetch tail latency, fetch failure rate, and " +
+			"query p95 under bulk traffic.",
+		Optimized: []Objective{
+			{Metric: "error_rate", Goal: "min", RelTol: 1.0, AbsTol: 0.05},
+			{Metric: "fetch_fail_rate", Goal: "min", RelTol: 1.0, AbsTol: 0.05},
+			{Metric: "fetch_p95_ms", Goal: "min", RelTol: 2.0, AbsTol: 2000},
+			{Metric: "bulk_query_p95_ms", Goal: "min", RelTol: 2.0, AbsTol: 250},
+			// Tracked but not gated: throughput is machine-dependent.
+			{Metric: "fetch_p50_ms", Goal: "min"},
+			{Metric: "fetch_bytes", Goal: "max"},
+			{Metric: "chunk_hash_fail", Goal: "min"},
+		},
+		Nodes: 20, Clusters: 4, Docs: 400, Cats: 12, Seed: 23,
+		Shards: 2, CacheMB: 8,
+		Content: true, DocBytes: 128 << 10,
+		Warmup: 20,
+		Acts: []Act{
+			{
+				Name: "baseline", QueriesPerNode: 50, Concurrency: 4, M: 2,
+				HotCategory: -1, TimeoutMS: 5000,
+			},
+			{
+				Name: "bulk", QueriesPerNode: 50, Concurrency: 4, M: 2,
+				HotCategory: -1, TimeoutMS: 5000,
+				FetchesPerNode: 6, FetchConcurrency: 2, FetchZipfS: 1.2,
+				FetchTimeoutMS: 30000,
+			},
+		},
+	}
+}
+
 // soakPlans bridges every scripted chaos-soak scenario into the plan
 // registry, so `p2pbench -plan soak-partition-adapt` runs the same
 // invariant-checked scenario the chaos CI job runs, with its report
@@ -208,7 +249,7 @@ func soakPlans() []Plan {
 
 // Plans returns every built-in plan, smoke first.
 func Plans() []Plan {
-	ps := []Plan{Smoke(), Zipf(), FlashCrowd(), Churn(), Lossy()}
+	ps := []Plan{Smoke(), Zipf(), FlashCrowd(), Churn(), Lossy(), Bulkmix()}
 	ps = append(ps, soakPlans()...)
 	return ps
 }

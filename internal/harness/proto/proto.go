@@ -74,6 +74,16 @@ type LoadSpec struct {
 	IntervalMS int `json:"interval_ms,omitempty"`
 	// TimeoutMS bounds each query.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Fetches, when > 0, runs a bulk workload alongside the queries:
+	// this many whole-document fetches (Node.Fetch, manifest-verified)
+	// issued by FetchConcurrency extra workers. Documents are sampled by
+	// rank-Zipf of exponent FetchZipfS (must be > 1; anything lower
+	// means uniform). Requires the node to run with -content.
+	Fetches          int     `json:"fetches,omitempty"`
+	FetchConcurrency int     `json:"fetch_concurrency,omitempty"`
+	FetchZipfS       float64 `json:"fetch_zipf_s,omitempty"`
+	// FetchTimeoutMS bounds each fetch (0 = 60s).
+	FetchTimeoutMS int `json:"fetch_timeout_ms,omitempty"`
 	// Seed makes the node's workload stream deterministic.
 	Seed int64 `json:"seed"`
 }
@@ -92,6 +102,13 @@ type LoadReport struct {
 	// percentiles are exact, not averages of averages). Downsampled
 	// deterministically past MaxLatencySamples.
 	LatencyMS []float64 `json:"latency_ms"`
+	// Bulk-workload outcome (LoadSpec.Fetches > 0). FetchBytes counts
+	// only bytes of completed, manifest-verified fetches;
+	// FetchLatencyMS is one whole-document completion time per fetch.
+	FetchOK        int       `json:"fetch_ok,omitempty"`
+	FetchFailed    int       `json:"fetch_failed,omitempty"`
+	FetchBytes     int64     `json:"fetch_bytes,omitempty"`
+	FetchLatencyMS []float64 `json:"fetch_latency_ms,omitempty"`
 }
 
 // MaxLatencySamples bounds one report's sample payload; a longer run is
@@ -136,6 +153,13 @@ type StatsReport struct {
 	FairnessX1000 int64 `json:"fairness_x1000"`
 	MembersAlive  int   `json:"members_alive"`
 	MembersSusp   int   `json:"members_suspect"`
+	// Per-transfer throughput percentiles (KB/s) of the node's completed
+	// remote fetches; zero-valued when the content plane is off or no
+	// transfer has finished. Raw transfer_* counters ride in Counters.
+	XferCount   int     `json:"xfer_count,omitempty"`
+	XferP50KBps float64 `json:"xfer_p50_kbps,omitempty"`
+	XferP95KBps float64 `json:"xfer_p95_kbps,omitempty"`
+	XferP99KBps float64 `json:"xfer_p99_kbps,omitempty"`
 	// LoadRunning reports an OpLoad still in flight — the orchestrator's
 	// convergence poll uses it to stop polling once an act's load drains.
 	LoadRunning bool `json:"load_running,omitempty"`

@@ -231,7 +231,10 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 		Totals:    map[string]float64{"nodes_launched": float64(p.Nodes)},
 	}
 	allLat := &metrics.SyncHistogram{}
+	allFetchLat := &metrics.SyncHistogram{}
+	bulkLat := &metrics.SyncHistogram{}
 	var totQ, totOK, totErr float64
+	var totFetch, totFetchOK, totFetchBytes float64
 	var totLoadSec float64
 	convergeBest := -1.0
 
@@ -241,17 +244,28 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 	}
 
 	for ai, act := range p.Acts {
-		am, lat, convergeS, err := runAct(r, p, act, target, prev, cfg)
+		am, lat, flat, convergeS, err := runAct(r, p, act, target, prev, cfg)
 		if err != nil {
 			return res, fmt.Errorf("act %q: %w", act.Name, err)
 		}
 		res.Acts = append(res.Acts, ActResult{Name: act.Name, Metrics: am})
 		for _, v := range lat {
 			allLat.Observe(v)
+			if act.FetchesPerNode > 0 {
+				// Query latency while bulk transfers compete for the
+				// links — the priority-lane data point.
+				bulkLat.Observe(v)
+			}
+		}
+		for _, v := range flat {
+			allFetchLat.Observe(v)
 		}
 		totQ += am["queries"]
 		totOK += am["ok"]
 		totErr += am["errors"]
+		totFetch += am["fetch_ok"] + am["fetch_failed"]
+		totFetchOK += am["fetch_ok"]
+		totFetchBytes += am["fetch_bytes"]
 		totLoadSec += am["seconds"]
 		if act.TrackConvergence && convergeS >= 0 {
 			if convergeBest < 0 || convergeS < convergeBest {
@@ -274,12 +288,16 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 	}
 	var served []float64
 	var wireIn, wireOut, hits, misses float64
+	var xferIn, xferOut, hashFail float64
 	for _, s := range final {
 		served = append(served, float64(s.Counters["served"]))
 		wireIn += float64(s.Counters["wire_bytes_in"])
 		wireOut += float64(s.Counters["wire_bytes_out"])
 		hits += float64(s.Counters["cache_hit"])
 		misses += float64(s.Counters["cache_miss"])
+		xferIn += float64(s.Counters["transfer_bytes_in"])
+		xferOut += float64(s.Counters["transfer_bytes_out"])
+		hashFail += float64(s.Counters["chunk_hash_fail"])
 	}
 	res.Totals["queries"] = totQ
 	res.Totals["ok"] = totOK
@@ -303,6 +321,25 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 	}
 	if hits+misses > 0 {
 		res.Totals["cache_hit_rate"] = hits / (hits + misses)
+	}
+	if totFetch > 0 {
+		res.Totals["fetches"] = totFetch
+		res.Totals["fetch_ok"] = totFetchOK
+		res.Totals["fetch_fail_rate"] = (totFetch - totFetchOK) / totFetch
+		res.Totals["fetch_bytes"] = totFetchBytes
+		res.Totals["transfer_bytes_in"] = xferIn
+		res.Totals["transfer_bytes_out"] = xferOut
+		res.Totals["chunk_hash_fail"] = hashFail
+		if allFetchLat.Count() > 0 {
+			res.Totals["fetch_p50_ms"] = allFetchLat.Quantile(0.5)
+			res.Totals["fetch_p95_ms"] = allFetchLat.Quantile(0.95)
+			res.Totals["fetch_p99_ms"] = allFetchLat.Quantile(0.99)
+		}
+		if bulkLat.Count() > 0 {
+			// Query p95 restricted to acts that ran bulk fetches
+			// alongside — the "queries stay fast under bulk" gate.
+			res.Totals["bulk_query_p95_ms"] = bulkLat.Quantile(0.95)
+		}
 	}
 	res.Totals["adapt_convergence_s"] = convergeBest
 
@@ -334,9 +371,10 @@ func loadAll(live []*NodeProc, spec proto.LoadSpec, seedBase int64, timeout time
 
 // runAct drives one act: churn, chaos, load on every live node, the
 // convergence watch, then the merged data points. Returns the act's
-// metrics, the raw latency samples (for run-level percentiles), and the
-// convergence seconds (-1 = not tracked / not reached).
-func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsReport, cfg RunConfig) (map[string]float64, []float64, float64, error) {
+// metrics, the raw query and fetch latency samples (for run-level
+// percentiles), and the convergence seconds (-1 = not tracked / not
+// reached).
+func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsReport, cfg RunConfig) (map[string]float64, []float64, []float64, float64, error) {
 	// Churn first: kills are abrupt (the point), restarts re-announce.
 	for _, id := range act.KillNodes {
 		if id >= 0 && id < len(r.Procs) && r.Procs[id].Alive {
@@ -353,13 +391,13 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 			}
 			fmt.Fprintf(cfg.Out, "  act %s: restarting node %d\n", act.Name, id)
 			if err := r.Procs[id].Restart(r.Bin, boot, cfg.SpawnTimeout); err != nil {
-				return nil, nil, -1, err
+				return nil, nil, nil, -1, err
 			}
 		}
 	}
 	live := r.Live()
 	if len(live) == 0 {
-		return nil, nil, -1, fmt.Errorf("no live nodes")
+		return nil, nil, nil, -1, fmt.Errorf("no live nodes")
 	}
 
 	chaosTargets := live
@@ -379,7 +417,7 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		}
 		for _, np := range chaosTargets {
 			if _, err := np.Call(proto.Command{Op: proto.OpChaos, Chaos: spec}, 30*time.Second); err != nil {
-				return nil, nil, -1, err
+				return nil, nil, nil, -1, err
 			}
 		}
 	}
@@ -389,6 +427,8 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		M: act.M, ZipfS: act.ZipfS, Repeat: act.Repeat,
 		HotCategory: act.HotCategory, HotFraction: act.HotFraction,
 		IntervalMS: act.IntervalMS, TimeoutMS: act.TimeoutMS,
+		Fetches: act.FetchesPerNode, FetchConcurrency: act.FetchConcurrency,
+		FetchZipfS: act.FetchZipfS, FetchTimeoutMS: act.FetchTimeoutMS,
 	}
 	if spec.Concurrency <= 0 {
 		spec.Concurrency = 4
@@ -404,7 +444,7 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		s := spec
 		s.Seed = p.Seed + 1000 + int64(np.ID)*101
 		if _, err := np.Call(proto.Command{Op: proto.OpLoad, Load: &s}, 30*time.Second); err != nil {
-			return nil, nil, -1, err
+			return nil, nil, nil, -1, err
 		}
 	}
 
@@ -437,12 +477,12 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		}
 	}
 
-	var lat []float64
+	var lat, fetchLat []float64
 	m := map[string]float64{}
 	for _, np := range live {
 		rsp, err := np.Call(proto.Command{Op: proto.OpWait}, cfg.ActTimeout)
 		if err != nil {
-			return nil, nil, -1, err
+			return nil, nil, nil, -1, err
 		}
 		rep := rsp.Load
 		m["queries"] += float64(rep.Issued)
@@ -454,6 +494,10 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 			m["seconds"] = rep.Seconds // acts run concurrently across nodes
 		}
 		lat = append(lat, rep.LatencyMS...)
+		m["fetch_ok"] += float64(rep.FetchOK)
+		m["fetch_failed"] += float64(rep.FetchFailed)
+		m["fetch_bytes"] += float64(rep.FetchBytes)
+		fetchLat = append(fetchLat, rep.FetchLatencyMS...)
 	}
 	if act.Chaos != nil {
 		for _, np := range chaosTargets {
@@ -470,8 +514,17 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		m["p95_ms"] = quantileSorted(lat, 0.95)
 		m["p99_ms"] = quantileSorted(lat, 0.99)
 	}
+	sort.Float64s(fetchLat)
+	if len(fetchLat) > 0 {
+		m["fetch_p50_ms"] = quantileSorted(fetchLat, 0.5)
+		m["fetch_p95_ms"] = quantileSorted(fetchLat, 0.95)
+		m["fetch_p99_ms"] = quantileSorted(fetchLat, 0.99)
+	}
 	if m["seconds"] > 0 {
 		m["qps"] = m["queries"] / m["seconds"]
+		if m["fetch_bytes"] > 0 {
+			m["fetch_mbps"] = m["fetch_bytes"] / (1 << 20) / m["seconds"]
+		}
 	}
 	cur, err := scrape(r.Live(), 30*time.Second)
 	if err == nil {
@@ -487,7 +540,7 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 	if act.TrackConvergence {
 		m["converge_s"] = convergeS
 	}
-	return m, lat, convergeS, nil
+	return m, lat, fetchLat, convergeS, nil
 }
 
 // quantileSorted reads a quantile off an ascending sample slice.

@@ -118,6 +118,12 @@ func nodeArgs(id int, bootstrap string, p Plan, sync string) []string {
 	if bootstrap != "" {
 		args = append(args, "-bootstrap", bootstrap)
 	}
+	if p.Content {
+		args = append(args, "-content")
+	}
+	if p.DocBytes > 0 {
+		args = append(args, "-docbytes", strconv.FormatInt(p.DocBytes, 10))
+	}
 	if p.Shards > 0 {
 		args = append(args, "-shards", strconv.Itoa(p.Shards))
 	}

@@ -604,12 +604,28 @@ func (n *Node) applyMoveEntry(cat catalog.CategoryID, e overlay.DCRTEntry) bool 
 	}
 	n.dcrt[cat] = e
 	n.stats.Add("dcrt_moves", 1)
+	if known && old.Cluster != e.Cluster && n.store != nil {
+		// Remember the shedding cluster: until the gaining holders
+		// finish pulling bytes, it holds the only copies, and
+		// fetchSources keeps routing transfers there as a fallback
+		// (the paper's lazy rebalancing, made real for the data plane).
+		n.prevCluster[cat] = old.Cluster
+	}
 	if ad := n.adapt; ad != nil {
 		if ms := ad.members[e.Cluster]; containsNode(ms, n.id) {
 			share := replica.PlaceCategory(n.inst, cat, ms, replica.DefaultConfig())
+			var need []catalog.DocID
 			for _, d := range share[n.id] {
 				n.storeDoc(d)
+				if n.store != nil && !n.store.Has(d) {
+					need = append(need, d)
+				}
 			}
+			// The metadata flips immediately (queries route here now);
+			// the bytes arrive asynchronously — a move is not done until
+			// the gaining holder has fetched its share from the shedding
+			// cluster and Put the real bytes.
+			n.shipMovedDocs(need)
 		}
 	}
 	n.gossipEntry(cat, e)

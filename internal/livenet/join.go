@@ -45,6 +45,11 @@ func init() {
 	gob.RegisterName("p2pshare/internal/wire.LeaderLoad", wire.LeaderLoad{})
 	gob.RegisterName("p2pshare/internal/wire.Move", wire.Move{})
 	gob.RegisterName("p2pshare/internal/overlay.MetadataUpdateMsg", overlay.MetadataUpdateMsg{})
+	// Generation-4 messages (content data plane), pinned the same way.
+	gob.RegisterName("p2pshare/internal/wire.ManifestReq", wire.ManifestReq{})
+	gob.RegisterName("p2pshare/internal/wire.Manifest", wire.Manifest{})
+	gob.RegisterName("p2pshare/internal/wire.ChunkReq", wire.ChunkReq{})
+	gob.RegisterName("p2pshare/internal/wire.Chunk", wire.Chunk{})
 }
 
 // helloMsg announces a (re)joining node and its listen address; bookMsg
@@ -65,6 +70,11 @@ type Shape struct {
 	Nodes      int
 	Clusters   int
 	Seed       int64
+	// DocBytes is the size of every document in bytes; 0 keeps the
+	// model default (the paper's 4 MB MP3 example). The content data
+	// plane sizes its synthetic bytes — and therefore every transfer —
+	// from this, so all processes of a deployment must agree on it.
+	DocBytes int64
 }
 
 // Build reconstructs the deployment's model: instance, MaxFair
@@ -77,6 +87,9 @@ func (sh Shape) Build() (*model.Instance, []model.ClusterID, *replica.Placement,
 	cfg.NumNodes = sh.Nodes
 	cfg.NumClusters = sh.Clusters
 	cfg.Seed = sh.Seed
+	if sh.DocBytes > 0 {
+		cfg.Catalog.DocSize = sh.DocBytes
+	}
 	inst, err := model.Generate(cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -135,7 +148,7 @@ func StartNode(sh Shape, id model.NodeID, listenAddr, bootstrapAddr string, opts
 		n.tr.setDial(func(addr string) (net.Conn, error) { return dial(id, addr) })
 	}
 	for _, d := range place.Stored[id] {
-		n.storeDoc(d)
+		n.holdDoc(d)
 	}
 	for cat, cl := range assign {
 		if cl != model.NoCluster {

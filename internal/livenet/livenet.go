@@ -43,6 +43,7 @@ import (
 
 	"p2pshare/internal/cache"
 	"p2pshare/internal/catalog"
+	"p2pshare/internal/content"
 	"p2pshare/internal/membership"
 	"p2pshare/internal/metrics"
 	"p2pshare/internal/model"
@@ -189,6 +190,26 @@ type Node struct {
 	// counters feeding it live on the shards (drainHits).
 	adapt *adaptState
 
+	// Content data plane (transfer.go). store is the chunk store, nil
+	// when Options.Content is unset — every serving and shipping path
+	// checks. xfers demultiplexes Manifest/Chunk replies to waiting
+	// Fetch callers by transfer id; rtt is the per-peer manifest
+	// round-trip EWMA ordering fetch sources; prevCluster remembers,
+	// per moved category, the shedding cluster that still holds the
+	// bytes (routeMu-guarded, control loop writes). moveFetchers bounds
+	// background move-shipping goroutines.
+	store           *content.Store
+	xferMu          sync.Mutex
+	xfers           map[uint64]chan envelope
+	xferSeq         atomic.Uint64
+	fwdSeq          atomic.Uint64
+	transfersActive atomic.Int64
+	xferTput        *metrics.SyncHistogram
+	rttMu           sync.Mutex
+	rtt             map[model.NodeID]float64
+	prevCluster     map[catalog.CategoryID]model.ClusterID
+	moveFetchers    atomic.Int64
+
 	// legacyGob makes the node behave like a pre-v2 peer on inbound
 	// streams: the preamble is never acked, so v2 senders fall back to
 	// gob. Mixed-version testing only.
@@ -258,6 +279,14 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 
 		gauges:    metrics.NewSyncGauge(),
 		querySalt: querySaltFor(id),
+
+		xfers:       make(map[uint64]chan envelope),
+		xferTput:    &metrics.SyncHistogram{},
+		rtt:         make(map[model.NodeID]float64),
+		prevCluster: make(map[catalog.CategoryID]model.ClusterID),
+	}
+	if opts.Content != nil {
+		n.store = content.NewStore(opts.Content.ChunkSize)
 	}
 	n.book.set(id, ln.Addr().String())
 	if opts.WriterIdle != 0 {
@@ -333,6 +362,10 @@ func (n *Node) Stats() map[string]int64 {
 	s["engine_shards"] = int64(len(n.shards))
 	s["served"] = n.served.Load()
 	s["max_inflight"] = n.inflightMax.Load()
+	s["transfers_active"] = n.transfersActive.Load()
+	if n.store != nil {
+		s["content_docs_held"] = int64(n.store.Len())
+	}
 	if cs := n.cacheSt.Load(); cs != nil {
 		s["cache_capacity_bytes"] = cs.capBytes
 	}
@@ -443,6 +476,14 @@ type Options struct {
 	// the default (45s); negative disables parking so writers persist for
 	// the node's lifetime, the pre-parking behavior.
 	WriterIdle time.Duration
+
+	// Content enables the content data plane (transfer.go /
+	// internal/content): the node holds a chunk store primed with its
+	// placed documents, serves manifest and chunk requests, answers
+	// Node.Fetch, and ships real document bytes when adaptation moves a
+	// category to its cluster. nil leaves the data plane off — metadata
+	// only, the historical behavior.
+	Content *ContentConfig
 }
 
 // DefaultShards is the engine shard count used when Options.Shards is
@@ -510,7 +551,7 @@ func Launch(inst *model.Instance, assign []model.ClusterID, place *replica.Place
 			docs = place.Stored[k]
 		}
 		for _, d := range docs {
-			n.storeDoc(d)
+			n.holdDoc(d)
 		}
 	}
 	// Prime DCRTs.
@@ -792,6 +833,22 @@ func (n *Node) routeInbound(env envelope) bool {
 		target = n.shardFor(m.ID).inbox
 	case overlay.ResultMsg:
 		target = n.shardFor(m.ID).inbox
+	case wire.ManifestReq:
+		// Content frames are served and demultiplexed inline on the
+		// reader goroutine: serving is read-only against the store
+		// (its own lock), and chunk I/O through the control loop would
+		// head-of-line block membership and adaptation behind bulk work.
+		n.serveManifestReq(env.From, m)
+		return true
+	case wire.ChunkReq:
+		n.serveChunkReq(env.From, m)
+		return true
+	case wire.Manifest:
+		n.deliverXfer(m.Xfer, env)
+		return true
+	case wire.Chunk:
+		n.deliverXfer(m.Xfer, env)
+		return true
 	}
 	select {
 	case target <- env:
@@ -913,7 +970,7 @@ func (n *Node) Publish(d catalog.DocID) error {
 	errc := make(chan error, 1)
 	select {
 	case n.cmds <- func(n *Node) {
-		n.storeDoc(d)
+		n.holdDoc(d)
 		cat := doc.Categories[0]
 		entry, ok := n.dcrt[cat]
 		if !ok {

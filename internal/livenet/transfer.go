@@ -1,0 +1,655 @@
+package livenet
+
+// The content data plane, requester and server side. A fetch is the
+// bulk analogue of a query: the caller goroutine runs the whole state
+// machine (no per-transfer goroutine — the idle-cluster goroutine
+// budget stays nodes*4+64), replica holders serve manifest and chunk
+// requests inline on their connection reader goroutines (the store is
+// read-mostly and its own lock, so serving never occupies the control
+// loop), and replies are demultiplexed back to the waiting fetcher
+// through a transfer registry keyed by a requester-minted id.
+//
+// Flow control is receiver-driven: wire.ChunkReq IS the credit grant.
+// A server only ever sends chunks the fetcher explicitly asked for, so
+// the fetcher's outstanding window — not the sender's appetite — bounds
+// bulk data in flight, and the transport's two-lane writer (transport.go)
+// keeps the granted chunks from ever starving protocol frames on the
+// shared stream. Every chunk is verified against the manifest as it
+// lands; on a dead or lying source the fetcher fails over to the next
+// replica holder and resumes from the last verified chunk — verified
+// progress is never thrown away.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"p2pshare/internal/catalog"
+	"p2pshare/internal/content"
+	"p2pshare/internal/metrics"
+	"p2pshare/internal/model"
+	"p2pshare/internal/wire"
+)
+
+const (
+	// fetchWindow bounds a transfer's outstanding (granted, unreceived)
+	// chunks: 32 × 64 KB = 2 MB in flight per transfer.
+	fetchWindow = 32
+	// fetchRefillAt is the low-water mark: when outstanding credit drops
+	// to this, the fetcher grants the next batch — early enough to keep
+	// the pipe full, late enough to coalesce grants (~1 ChunkReq per
+	// window/4 chunks in steady state, not one per chunk).
+	fetchRefillAt = fetchWindow / 4
+	// serverMaxGrant caps how many chunks one ChunkReq may grant, so a
+	// corrupt or hostile Count cannot make a server flood megabytes
+	// unasked.
+	serverMaxGrant = 64
+	// xferChanCap sizes a transfer's reply channel. Deliveries beyond it
+	// are dropped (the reader goroutine must never block on a slow
+	// fetcher) and recovered by the stall re-grant.
+	xferChanCap = 2 * fetchWindow
+	// manifestWait / chunkStallWait bound how long a fetcher waits on a
+	// silent source before re-granting once and then failing over.
+	manifestWait   = 1500 * time.Millisecond
+	chunkStallWait = 1200 * time.Millisecond
+	// maxHashFailsPerSource is how many corrupt chunks one source may
+	// send before the fetcher stops re-requesting and fails over.
+	maxHashFailsPerSource = 8
+	// discoverTTL bounds intra-cluster manifest-request forwarding: a
+	// contacted non-holder relays the request up to this many hops deeper
+	// into the serving cluster, so a fetcher whose few remote contacts
+	// all miss the replica set still finds a holder. The intra-cluster
+	// NRT is a sparse ring-plus-chords graph, so three hops are needed to
+	// reach past a contact's immediate neighborhood.
+	discoverTTL = 3
+	// manifestFwdFanout is how many serving-cluster neighbors one
+	// non-holder forwards a manifest request to. With discoverTTL the
+	// flood per contacted source is ≤ 1+3+9+27 small frames.
+	manifestFwdFanout = 3
+	// maxFloods bounds how many discovery rounds one fetch runs before
+	// giving up — each round forwards along a different rotation, so
+	// retries explore new membership slices; maxTriesPerHolder bounds
+	// chunk-phase attempts against any single discovered holder (a
+	// re-flood may re-discover it).
+	maxFloods         = 4
+	maxTriesPerHolder = 2
+	// maxMoveFetchers bounds concurrent background move-shipping
+	// goroutines per node (adaptation can reassign several categories in
+	// one epoch; their transfers queue rather than stampede).
+	maxMoveFetchers = 2
+	// moveFetchTimeout backstops one background move transfer.
+	moveFetchTimeout = 2 * time.Minute
+)
+
+// ErrNoContent reports a fetch that ran out of sources: every reachable
+// replica holder was tried (twice) and none completed the transfer.
+var ErrNoContent = errors.New("livenet: no replica holder could serve the document bytes")
+
+// ContentConfig enables the content data plane on a node
+// (Options.Content): a chunk store primed with the placement's
+// documents, inline manifest/chunk serving, Node.Fetch, and byte-
+// shipping rebalancing moves.
+type ContentConfig struct {
+	// ChunkSize is the transfer unit in bytes; 0 means
+	// content.DefaultChunkSize (64 KB).
+	ChunkSize int
+}
+
+// ContentStore exposes the node's chunk store — nil when the content
+// data plane is disabled. Callers may Put real bytes before Publish to
+// share non-synthetic content (see examples/musicshare).
+func (n *Node) ContentStore() *content.Store { return n.store }
+
+// TransferThroughput exposes the per-transfer throughput histogram:
+// one observation (KB/s) per completed remote fetch.
+func (n *Node) TransferThroughput() *metrics.SyncHistogram { return n.xferTput }
+
+// holdDoc records a document this node holds from birth or publish: the
+// routing metadata (storeDoc) plus — when the content plane is on — a
+// synthetic registration standing in for the bytes on the peer's disk.
+// Documents acquired by a rebalancing move do NOT come through here;
+// their bytes must arrive over the network (shipMovedDocs → Put).
+func (n *Node) holdDoc(d catalog.DocID) {
+	n.storeDoc(d)
+	if n.store != nil {
+		if doc := n.inst.Catalog.Doc(d); doc != nil {
+			n.store.Register(d, doc.Size)
+		}
+	}
+}
+
+// registerXfer mints a transfer id and installs its reply channel.
+func (n *Node) registerXfer() (uint64, chan envelope) {
+	id := n.xferSeq.Add(1)
+	ch := make(chan envelope, xferChanCap)
+	n.xferMu.Lock()
+	n.xfers[id] = ch
+	n.xferMu.Unlock()
+	return id, ch
+}
+
+func (n *Node) unregisterXfer(id uint64) {
+	n.xferMu.Lock()
+	delete(n.xfers, id)
+	n.xferMu.Unlock()
+}
+
+// deliverXfer routes one Manifest/Chunk reply to the waiting fetcher.
+// Called from connection reader goroutines: it must never block, so a
+// full reply channel drops the frame (counted; the fetcher's stall
+// re-grant recovers the chunk).
+func (n *Node) deliverXfer(id uint64, env envelope) {
+	n.xferMu.Lock()
+	ch := n.xfers[id]
+	n.xferMu.Unlock()
+	if ch == nil {
+		n.stats.Add("transfer_stray_frames", 1)
+		return
+	}
+	select {
+	case ch <- env:
+	default:
+		n.stats.Add("transfer_overruns", 1)
+	}
+}
+
+// sendDirect queues one envelope to a peer from OUTSIDE the control
+// loop (reader goroutines serving transfers, fetch callers): unlike
+// send it takes the routing read lock itself. bulk selects the
+// transport's low-priority lane, so document chunks ride behind any
+// pending protocol frames instead of ahead of them.
+func (n *Node) sendDirect(to model.NodeID, msg any, bulk bool) {
+	n.routeMu.RLock()
+	addr, ok := n.book.get(to)
+	n.routeMu.RUnlock()
+	if !ok {
+		n.stats.Add("send_no_addr", 1)
+		return
+	}
+	env := envelope{From: n.id, Msg: msg}
+	if bulk {
+		n.tr.enqueueBulk(to, addr, env)
+	} else {
+		n.tr.enqueue(to, addr, env)
+	}
+}
+
+// serveManifestReq answers a manifest request inline on the reader
+// goroutine. A holder replies straight to the request's origin; a
+// member that does not hold the document forwards the request to a few
+// serving-cluster neighbors instead (TTL-bounded), so holder discovery
+// rides the overlay the same way queries do — placement stores each
+// document on a replica subset, and the fetcher's handful of remote
+// contacts need not themselves be in it. At TTL 0 the request dies
+// silently; the fetcher's flood redundancy and re-flood cover the loss.
+func (n *Node) serveManifestReq(from model.NodeID, m wire.ManifestReq) {
+	if n.store != nil {
+		if man, ok := n.store.Manifest(m.Doc); ok {
+			n.stats.Add("transfer_manifests_served", 1)
+			n.sendDirect(m.Origin, wire.Manifest{
+				Doc:       m.Doc,
+				Xfer:      m.Xfer,
+				Size:      man.Size,
+				ChunkSize: int64(man.ChunkSize),
+				Hashes:    man.Hashes,
+			}, false)
+			return
+		}
+	}
+	doc := n.inst.Catalog.Doc(m.Doc)
+	if m.TTL <= 0 || doc == nil || n.store == nil {
+		n.stats.Add("transfer_req_dropped", 1)
+		return
+	}
+	// Forward to addressable serving-cluster members, rotating the start
+	// position by a per-node sequence so consecutive forwards — and the
+	// fetcher's re-floods — fan out over different slices of the
+	// membership instead of retracing one deterministic tree that may
+	// simply not contain a holder.
+	var next []model.NodeID
+	n.routeMu.RLock()
+	if e, ok := n.dcrt[doc.Categories[0]]; ok {
+		members := n.nrt[e.Cluster]
+		if len(members) > 0 {
+			start := int((n.fwdSeq.Add(1) + uint64(n.id)) % uint64(len(members)))
+			for i := 0; i < len(members) && len(next) < manifestFwdFanout; i++ {
+				peer := members[(start+i)%len(members)]
+				if peer == n.id || peer == m.Origin || peer == from || !n.book.has(peer) {
+					continue
+				}
+				next = append(next, peer)
+			}
+		}
+	}
+	n.routeMu.RUnlock()
+	if len(next) == 0 {
+		n.stats.Add("transfer_req_dropped", 1)
+		return
+	}
+	n.stats.Add("transfer_req_forwards", 1)
+	fwd := wire.ManifestReq{Doc: m.Doc, Xfer: m.Xfer, Origin: m.Origin, TTL: m.TTL - 1}
+	for _, peer := range next {
+		n.sendDirect(peer, fwd, false)
+	}
+}
+
+// serveChunkReq streams the granted chunk range inline on the reader
+// goroutine, on the bulk lane. The grant is the flow control: nothing
+// beyond [First, First+Count) is sent, and Count is clamped so a bad
+// frame cannot demand an unbounded burst.
+func (n *Node) serveChunkReq(from model.NodeID, m wire.ChunkReq) {
+	count := m.Count
+	if count > serverMaxGrant {
+		count = serverMaxGrant
+		n.stats.Add("transfer_grants_clamped", 1)
+	}
+	if n.store == nil || !n.store.Has(m.Doc) {
+		n.sendDirect(from, wire.Chunk{Doc: m.Doc, Xfer: m.Xfer, Index: m.First, Missing: true}, false)
+		return
+	}
+	for i := int64(0); i < count; i++ {
+		idx := m.First + i
+		data, ok := n.store.Chunk(m.Doc, int(idx))
+		if !ok {
+			n.sendDirect(from, wire.Chunk{Doc: m.Doc, Xfer: m.Xfer, Index: idx, Missing: true}, false)
+			return
+		}
+		n.stats.Add("transfer_bytes_out", int64(len(data)))
+		n.sendDirect(from, wire.Chunk{Doc: m.Doc, Xfer: m.Xfer, Index: idx, Data: data}, true)
+	}
+}
+
+// observeRTT folds one manifest round-trip into the per-peer EWMA that
+// orders fetch sources (nearest replica holder first).
+func (n *Node) observeRTT(peer model.NodeID, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	n.rttMu.Lock()
+	if old, ok := n.rtt[peer]; ok {
+		ms = 0.7*old + 0.3*ms
+	}
+	n.rtt[peer] = ms
+	n.rttMu.Unlock()
+}
+
+// fetchSources snapshots the replica holders a fetch should try, in
+// preference order: members of the category's serving cluster, then —
+// if adaptation recently moved the category here — members of the
+// shedding cluster, which keeps the only copies until the new holders
+// finish pulling bytes (lazy rebalancing). Within each tier, measured
+// peers sort by RTT ascending; unmeasured peers follow in id order, so
+// source selection is deterministic before any latency is known.
+func (n *Node) fetchSources(cat catalog.CategoryID) []model.NodeID {
+	n.routeMu.RLock()
+	var out, unbooked []model.NodeID
+	seen := map[model.NodeID]struct{}{n.id: {}}
+	add := func(ms []model.NodeID) {
+		for _, m := range ms {
+			if _, dup := seen[m]; dup {
+				continue
+			}
+			seen[m] = struct{}{}
+			if n.book.has(m) {
+				out = append(out, m)
+			} else {
+				unbooked = append(unbooked, m)
+			}
+		}
+	}
+	if e, ok := n.dcrt[cat]; ok {
+		add(n.nrt[e.Cluster])
+	}
+	if prev, ok := n.prevCluster[cat]; ok {
+		add(n.nrt[prev])
+	}
+	n.routeMu.RUnlock()
+	if len(out) == 0 {
+		// Same fallback as the query engine's route snapshot: with no
+		// addressable member, try the statically primed ones — the book
+		// may simply not have synced yet.
+		out = unbooked
+	}
+	n.rttMu.Lock()
+	rtt := make(map[model.NodeID]float64, len(out))
+	for _, m := range out {
+		if v, ok := n.rtt[m]; ok {
+			rtt[m] = v
+		}
+	}
+	n.rttMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rtt[out[i]]
+		rj, jok := rtt[out[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// fetchCtxReason maps a context error to its stats counter and
+// sentinel, mirroring the query engine's accounting discipline.
+func fetchCtxReason(err error) (string, error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "fetch_timeouts", ErrTimeout
+	}
+	return "fetch_cancelled", err
+}
+
+// Fetch retrieves a document's bytes — the data-plane companion to
+// QueryContext. A locally held document is returned without touching
+// the network; otherwise the caller goroutine floods a TTL-bounded
+// manifest request at its contacts in the document's serving cluster
+// (non-holders forward it; holders answer), streams chunks from the
+// first holder to respond under receiver-driven flow control, verifies
+// each chunk against the manifest, and fails over to the next
+// discovered holder on silence, corruption, or a holder that no longer
+// has the document — resuming from the last verified chunk rather than
+// restarting. Safe for many concurrent calls.
+//
+// Accounting: every call counts fetches_total once and exactly one of
+// fetches_ok + fetch_bad_doc + fetch_closed + fetch_cancelled +
+// fetch_timeouts + fetch_no_route + fetch_exhausted on exit.
+func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
+	start := time.Now()
+	n.stats.Add("fetches_total", 1)
+	doc := n.inst.Catalog.Doc(d)
+	if doc == nil {
+		n.stats.Add("fetch_bad_doc", 1)
+		return nil, fmt.Errorf("livenet: unknown document %d", d)
+	}
+	if err := ctx.Err(); err != nil {
+		reason, ferr := fetchCtxReason(err)
+		n.stats.Add(reason, 1)
+		return nil, ferr
+	}
+	select {
+	case <-n.done:
+		n.stats.Add("fetch_closed", 1)
+		return nil, ErrClosed
+	default:
+	}
+	if n.store != nil {
+		if b, ok := n.store.Bytes(d); ok {
+			n.stats.Add("fetch_local_hits", 1)
+			n.stats.Add("fetches_ok", 1)
+			return b, nil
+		}
+	}
+	sources := n.fetchSources(doc.Categories[0])
+	if len(sources) == 0 {
+		n.stats.Add("fetch_no_route", 1)
+		return nil, ErrNoRoute
+	}
+
+	id, ch := n.registerXfer()
+	defer n.unregisterXfer(id)
+	n.transfersActive.Add(1)
+	defer n.transfersActive.Add(-1)
+
+	var (
+		man       *content.Manifest
+		asm       *content.Assembly
+		bytesIn   int64
+		holders   []model.NodeID // discovered holders queued as sources
+		pending   = make(map[model.NodeID]bool)
+		tries     = make(map[model.NodeID]int)
+		floods    int
+		lastFlood time.Time
+	)
+	// One reusable timer across both phases.
+	timer := time.NewTimer(manifestWait)
+	defer timer.Stop()
+	resetTimer := func(d time.Duration) {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+	}
+	finish := func() ([]byte, error) {
+		data, err := asm.Bytes()
+		if err != nil {
+			// Unreachable: finish is only called on Complete.
+			n.stats.Add("fetch_exhausted", 1)
+			return nil, err
+		}
+		if elapsed := time.Since(start).Seconds(); bytesIn > 0 && elapsed > 0 {
+			n.xferTput.Observe(float64(bytesIn) / 1024 / elapsed)
+		}
+		n.stats.Add("fetches_ok", 1)
+		return data, nil
+	}
+	// grant sends coalesced ChunkReqs for the given ascending indexes.
+	grant := func(src model.NodeID, idxs []int) {
+		for i := 0; i < len(idxs); {
+			j := i + 1
+			for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
+				j++
+			}
+			n.sendDirect(src, wire.ChunkReq{
+				Doc: d, Xfer: id,
+				First: int64(idxs[i]), Count: int64(j - i),
+			}, false)
+			i = j
+		}
+	}
+	// noteManifest folds one Manifest frame into fetch state: the first
+	// valid one pins the transfer's geometry, and every distinct sender
+	// is a discovered replica holder queued as a streaming source (the
+	// manifest is content-addressed, so any holder's copy is the same).
+	noteManifest := func(env envelope) {
+		m, ok := env.Msg.(wire.Manifest)
+		if !ok || m.Doc != d || m.Missing {
+			return
+		}
+		if man == nil {
+			cm := &content.Manifest{Doc: d, Size: m.Size, ChunkSize: int(m.ChunkSize), Hashes: m.Hashes}
+			if !cm.Valid() {
+				n.stats.Add("transfer_bad_manifests", 1)
+				return
+			}
+			man = cm
+			asm = content.NewAssembly(cm)
+		}
+		n.observeRTT(env.From, time.Since(lastFlood))
+		if !pending[env.From] && tries[env.From] < maxTriesPerHolder {
+			pending[env.From] = true
+			holders = append(holders, env.From)
+		}
+	}
+	// flood sends one TTL-bounded discovery round at every contact.
+	flood := func() {
+		floods++
+		lastFlood = time.Now()
+		req := wire.ManifestReq{Doc: d, Xfer: id, Origin: n.id, TTL: discoverTTL}
+		for _, s := range sources {
+			n.sendDirect(s, req, false)
+		}
+	}
+
+	for {
+		// Discovery: (re-)flood until at least one holder is queued.
+		// Holders answer the flood with the manifest itself, so discovery
+		// and the manifest phase are the same round trip.
+		for len(holders) == 0 {
+			if floods >= maxFloods {
+				n.stats.Add("fetch_exhausted", 1)
+				return nil, ErrNoContent
+			}
+			flood()
+			resetTimer(manifestWait)
+		discover:
+			for len(holders) == 0 {
+				select {
+				case <-ctx.Done():
+					reason, ferr := fetchCtxReason(ctx.Err())
+					n.stats.Add(reason, 1)
+					return nil, ferr
+				case <-n.done:
+					n.stats.Add("fetch_closed", 1)
+					return nil, ErrClosed
+				case <-timer.C:
+					n.stats.Add("transfer_stalls", 1)
+					break discover
+				case env := <-ch:
+					noteManifest(env)
+				}
+			}
+		}
+		src := holders[0]
+		holders = holders[1:]
+		pending[src] = false
+		tries[src]++
+		if asm.Complete() { // zero-length document
+			return finish()
+		}
+		if asm.Got() > 0 {
+			n.stats.Add("transfer_resumes", 1)
+		}
+
+		// Chunk phase against src: grant a window, top it back up at the
+		// low-water mark, verify every arrival. One silent stall re-grants
+		// the outstanding credit (the grant or the chunks may have been
+		// dropped under overrun); a second consecutive stall fails over.
+		// Manifests from holders the flood reached late keep arriving here
+		// and extend the failover queue.
+		outstanding := make(map[int]struct{}, fetchWindow)
+		initial := asm.Missing(fetchWindow)
+		for _, idx := range initial {
+			outstanding[idx] = struct{}{}
+		}
+		grant(src, initial)
+		resetTimer(chunkStallWait)
+		stalled := false
+		hashFails := 0
+	chunkLoop:
+		for {
+			select {
+			case <-ctx.Done():
+				reason, ferr := fetchCtxReason(ctx.Err())
+				n.stats.Add(reason, 1)
+				return nil, ferr
+			case <-n.done:
+				n.stats.Add("fetch_closed", 1)
+				return nil, ErrClosed
+			case <-timer.C:
+				n.stats.Add("transfer_stalls", 1)
+				if stalled {
+					break chunkLoop
+				}
+				stalled = true
+				regrant := asm.Missing(fetchWindow)
+				outstanding = make(map[int]struct{}, len(regrant))
+				for _, idx := range regrant {
+					outstanding[idx] = struct{}{}
+				}
+				grant(src, regrant)
+				resetTimer(chunkStallWait)
+			case env := <-ch:
+				c, ok := env.Msg.(wire.Chunk)
+				if !ok {
+					noteManifest(env)
+					continue
+				}
+				if c.Doc != d {
+					continue
+				}
+				if c.Missing {
+					n.stats.Add("transfer_source_missing", 1)
+					break chunkLoop
+				}
+				added, err := asm.Add(int(c.Index), c.Data)
+				if err != nil {
+					if errors.Is(err, content.ErrHashMismatch) {
+						n.stats.Add("chunk_hash_fail", 1)
+					} else {
+						n.stats.Add("transfer_bad_chunks", 1)
+					}
+					hashFails++
+					if hashFails > maxHashFailsPerSource {
+						break chunkLoop
+					}
+					if c.Index >= 0 && int(c.Index) < man.NumChunks() {
+						grant(src, []int{int(c.Index)})
+					}
+					resetTimer(chunkStallWait)
+					continue
+				}
+				if !added { // duplicate of a verified chunk (re-grant overlap)
+					continue
+				}
+				stalled = false
+				bytesIn += int64(len(c.Data))
+				n.stats.Add("transfer_bytes_in", int64(len(c.Data)))
+				delete(outstanding, int(c.Index))
+				if asm.Complete() {
+					return finish()
+				}
+				if len(outstanding) <= fetchRefillAt {
+					var fresh []int
+					for _, idx := range asm.Missing(0) {
+						if len(outstanding)+len(fresh) >= fetchWindow {
+							break
+						}
+						if _, inflight := outstanding[idx]; !inflight {
+							fresh = append(fresh, idx)
+						}
+					}
+					for _, idx := range fresh {
+						outstanding[idx] = struct{}{}
+					}
+					grant(src, fresh)
+				}
+				resetTimer(chunkStallWait)
+			}
+		}
+	}
+}
+
+// shipMovedDocs pulls the bytes of documents this node newly owes (a
+// §6.1 move made it a holder) in the background, bounded to
+// maxMoveFetchers concurrent shippers per node. Called from the control
+// loop (applyMoveEntry) — it must only spawn, never block. Fetched
+// bytes are installed with Put: move-acquired content is real network
+// bytes, not a synthetic registration, which is what makes the
+// rebalancing data plane honest end to end.
+func (n *Node) shipMovedDocs(docs []catalog.DocID) {
+	if n.store == nil || len(docs) == 0 {
+		return
+	}
+	if n.moveFetchers.Load() >= maxMoveFetchers {
+		n.stats.Add("transfer_move_skipped", int64(len(docs)))
+		return
+	}
+	n.moveFetchers.Add(1)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer n.moveFetchers.Add(-1)
+		for _, d := range docs {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), moveFetchTimeout)
+			data, err := n.Fetch(ctx, d)
+			cancel()
+			if err != nil {
+				n.stats.Add("transfer_move_failures", 1)
+				continue
+			}
+			n.store.Put(d, data)
+			n.stats.Add("transfer_move_docs", 1)
+			n.stats.Add("transfer_move_bytes", int64(len(data)))
+		}
+	}()
+}

@@ -89,6 +89,15 @@ const (
 	defaultWriterIdle = 45 * time.Second
 	// maxBatchMsgs caps how many queued envelopes one flush coalesces.
 	maxBatchMsgs = 64
+	// bulkQueueCap bounds each peer's bulk (chunk) queue. Separate from
+	// sendQueueCap so a transfer's worth of queued chunks can never
+	// crowd protocol frames out of their queue.
+	bulkQueueCap = 256
+	// maxBulkPerBatch caps bulk envelopes per flush. Chunks run ~64 KB,
+	// so this bounds one batch's bulk payload (~512 KB) and therefore
+	// how long a protocol frame arriving just after a flush started can
+	// wait behind bulk bytes already committed to the socket.
+	maxBulkPerBatch = 8
 	// writeBufBytes sizes each peer stream's write buffer; a batch that
 	// outgrows it flushes early inside bufio.
 	writeBufBytes = 64 << 10
@@ -136,9 +145,18 @@ type transport struct {
 
 // peerConn is the queue and address of one destination peer. The
 // connection itself lives in the writer goroutine's locals.
+//
+// Two outbound queues implement the data/control priority split: queue
+// carries protocol frames (queries, probes, adaptation — everything
+// latency-sensitive), bulk carries chunk transfers. The writer drains
+// protocol strictly first and admits at most maxBulkPerBatch bulk
+// envelopes per flush, so a saturating transfer cannot starve the
+// protocol path — it only uses the bandwidth protocol traffic leaves
+// idle.
 type peerConn struct {
 	to    model.NodeID
 	queue chan envelope
+	bulk  chan envelope
 
 	// running reports whether a writer goroutine currently owns the
 	// queue. Guarded by transport.mu — and so is every send into queue —
@@ -199,10 +217,22 @@ func (t *transport) dialPeer(addr string) (net.Conn, error) {
 	return f(addr)
 }
 
-// enqueue hands an envelope to the peer's writer, spawning one if the
-// peer's writer is parked (or never started). It never blocks: a full
-// queue drops the message (counted) rather than stalling the event loop.
+// enqueue hands a protocol envelope to the peer's writer, spawning one
+// if the peer's writer is parked (or never started). It never blocks: a
+// full queue drops the message (counted) rather than stalling the event
+// loop.
 func (t *transport) enqueue(to model.NodeID, addr string, env envelope) {
+	t.enqueueOn(to, addr, env, false)
+}
+
+// enqueueBulk queues a chunk-transfer envelope at bulk priority: it
+// rides the same stream but the writer only lets it into a batch when
+// no protocol frame is waiting.
+func (t *transport) enqueueBulk(to model.NodeID, addr string, env envelope) {
+	t.enqueueOn(to, addr, env, true)
+}
+
+func (t *transport) enqueueOn(to model.NodeID, addr string, env envelope, bulk bool) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -210,13 +240,17 @@ func (t *transport) enqueue(to model.NodeID, addr string, env envelope) {
 	}
 	p, ok := t.peers[to]
 	if !ok {
-		p = &peerConn{to: to, addr: addr, queue: make(chan envelope, sendQueueCap)}
+		p = newPeerConn(to, addr)
 		t.peers[to] = p
 	}
 	p.setAddr(addr)
+	q := p.queue
+	if bulk {
+		q = p.bulk
+	}
 	dropped := false
 	select {
-	case p.queue <- env:
+	case q <- env:
 	default:
 		dropped = true
 	}
@@ -231,7 +265,20 @@ func (t *transport) enqueue(to model.NodeID, addr string, env envelope) {
 		go t.run(p)
 	}
 	if dropped {
-		t.stats.Add("transport_drops_queue_full", 1)
+		if bulk {
+			t.stats.Add("transport_drops_bulk_full", 1)
+		} else {
+			t.stats.Add("transport_drops_queue_full", 1)
+		}
+	}
+}
+
+func newPeerConn(to model.NodeID, addr string) *peerConn {
+	return &peerConn{
+		to:    to,
+		addr:  addr,
+		queue: make(chan envelope, sendQueueCap),
+		bulk:  make(chan envelope, bulkQueueCap),
 	}
 }
 
@@ -246,7 +293,7 @@ func (t *transport) peer(to model.NodeID, addr string) *peerConn {
 	}
 	p, ok := t.peers[to]
 	if !ok {
-		p = &peerConn{to: to, addr: addr, queue: make(chan envelope, sendQueueCap)}
+		p = newPeerConn(to, addr)
 		t.peers[to] = p
 	}
 	return p
@@ -259,7 +306,7 @@ func (t *transport) peer(to model.NodeID, addr string) *peerConn {
 func (t *transport) park(p *peerConn) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(p.queue) > 0 {
+	if len(p.queue) > 0 || len(p.bulk) > 0 {
 		return false
 	}
 	p.running = false
@@ -276,7 +323,7 @@ func (t *transport) queueDepth() int {
 	defer t.mu.Unlock()
 	depth := 0
 	for _, p := range t.peers {
-		depth += len(p.queue)
+		depth += len(p.queue) + len(p.bulk)
 	}
 	return depth
 }
@@ -362,8 +409,47 @@ func (t *transport) run(p *peerConn) {
 		}
 		idle.Reset(t.writerIdle)
 	}
+	// fillBatch coalesces whatever is already queued behind the batch's
+	// first envelope: every waiting protocol frame first, then at most
+	// maxBulkPerBatch chunks into the slots protocol traffic left free.
+	// No waiting anywhere, so a lone envelope still flushes immediately.
+	fillBatch := func(batch []envelope) []envelope {
+	drainProto:
+		for len(batch) < maxBatchMsgs {
+			select {
+			case e := <-p.queue:
+				batch = append(batch, e)
+			default:
+				break drainProto
+			}
+		}
+		bulkTaken := 0
+	drainBulk:
+		for len(batch) < maxBatchMsgs && bulkTaken < maxBulkPerBatch {
+			select {
+			case e := <-p.bulk:
+				batch = append(batch, e)
+				bulkTaken++
+			default:
+				break drainBulk
+			}
+		}
+		return batch
+	}
 	batch := make([]envelope, 0, maxBatchMsgs)
 	for {
+		// Biased receive: when both queues are ready the unbiased select
+		// below would pick at random, letting a saturating transfer win
+		// half the flushes. Protocol frames go first, always.
+		select {
+		case env := <-p.queue:
+			if !w.deliver(fillBatch(append(batch[:0], env))) {
+				return
+			}
+			resetIdle()
+			continue
+		default:
+		}
 		select {
 		case <-t.done:
 			return
@@ -376,20 +462,26 @@ func (t *transport) run(p *peerConn) {
 			// next loop iteration with a fresh idle window.
 			idle.Reset(t.writerIdle)
 		case env := <-p.queue:
-			// Coalesce whatever else is already queued — no waiting, so
-			// a lone envelope still flushes immediately.
-			batch = append(batch[:0], env)
-		drain:
-			for len(batch) < maxBatchMsgs {
+			if !w.deliver(fillBatch(append(batch[:0], env))) {
+				return // transport closed mid-backoff
+			}
+			resetIdle()
+		case env := <-p.bulk:
+			// Protocol frames that arrived since the last flush still
+			// jump ahead of this chunk inside the batch.
+			batch = batch[:0]
+		proto:
+			for len(batch) < maxBatchMsgs-1 {
 				select {
 				case e := <-p.queue:
 					batch = append(batch, e)
 				default:
-					break drain
+					break proto
 				}
 			}
-			if !w.deliver(batch) {
-				return // transport closed mid-backoff
+			batch = append(batch, env)
+			if !w.deliver(fillBatch(batch)) {
+				return
 			}
 			resetIdle()
 		}

@@ -59,11 +59,27 @@ type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*listener
 	next      int
+	ringMax   int // per-direction buffer cap for new conns
 }
 
-// New builds an empty fabric.
+// New builds an empty fabric with the default per-direction ring cap.
 func New() *Network {
-	return &Network{listeners: make(map[string]*listener)}
+	return NewSized(0)
+}
+
+// NewSized builds a fabric whose connections buffer up to ringMax bytes
+// per direction before writes block (0 → the 128 KB default). Bulk
+// chunk streams want megabyte rings so a multi-MB transfer doesn't
+// serialize on the "kernel buffer"; control-plane tests keep the small
+// default.
+func NewSized(ringMax int) *Network {
+	if ringMax <= 0 {
+		ringMax = ringMaxBytes
+	}
+	if ringMax < ringStartBytes {
+		ringMax = ringStartBytes
+	}
+	return &Network{listeners: make(map[string]*listener), ringMax: ringMax}
 }
 
 // Addr is a memnet endpoint address.
@@ -108,8 +124,8 @@ func (nw *Network) Dial(addr string) (net.Conn, error) {
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: Addr(addr),
 			Err: fmt.Errorf("connection refused")}
 	}
-	c2s := newRing() // client writes, server reads
-	s2c := newRing() // server writes, client reads
+	c2s := newRing(nw.ringMax) // client writes, server reads
+	s2c := newRing(nw.ringMax) // server writes, client reads
 	client := &conn{rd: s2c, wr: c2s, local: "mem:dial", remote: l.addr}
 	server := &conn{rd: c2s, wr: s2c, local: l.addr, remote: "mem:dial"}
 	select {
@@ -176,6 +192,7 @@ type ring struct {
 	buf  []byte
 	r    int  // read offset
 	n    int  // bytes buffered
+	max  int  // growth cap for this ring
 	werr bool // write side closed: readers drain then EOF
 	rerr bool // read side closed: writes fail immediately
 	// dataWake is non-nil while readers wait for bytes; spaceWake while
@@ -184,8 +201,15 @@ type ring struct {
 	spaceWake chan struct{}
 }
 
-func newRing() *ring {
-	return &ring{buf: make([]byte, ringStartBytes)}
+func newRing(max int) *ring {
+	if max <= 0 {
+		max = ringMaxBytes
+	}
+	start := ringStartBytes
+	if start > max {
+		start = max
+	}
+	return &ring{buf: make([]byte, start), max: max}
 }
 
 // wakeReaders/wakeWriters broadcast to the corresponding waiters.
@@ -204,15 +228,15 @@ func (rg *ring) wakeWriters() {
 	}
 }
 
-// grow doubles the ring up to ringMaxBytes, linearizing content.
+// grow doubles the ring up to its cap, linearizing content.
 // Caller holds mu; returns free space after growing.
 func (rg *ring) grow() int {
-	if len(rg.buf) >= ringMaxBytes {
+	if len(rg.buf) >= rg.max {
 		return len(rg.buf) - rg.n
 	}
 	size := len(rg.buf) * 2
-	if size > ringMaxBytes {
-		size = ringMaxBytes
+	if size > rg.max {
+		size = rg.max
 	}
 	nb := make([]byte, size)
 	rg.copyOut(nb[:rg.n])

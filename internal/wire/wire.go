@@ -52,7 +52,11 @@ import (
 // Generation 3 adds the membership frames (ping, ack, ping-req, leave),
 // the adaptation frames (leader-load, move, meta-update), and the Dead
 // tombstone section of Book.
-const Version = 3
+//
+// Generation 4 adds the content data plane frames: manifest-req,
+// manifest, chunk-req (which doubles as the flow-control credit grant),
+// and chunk.
+const Version = 4
 
 // MaxFrameBytes bounds one frame's payload. The largest legitimate
 // message is an address book; at ~30 bytes per peer this admits over a
@@ -72,10 +76,19 @@ const (
 	tagAck        = 8
 	tagPingReq    = 9
 	tagLeave      = 10
-	tagLeaderLoad = 11
-	tagMove       = 12
-	tagMetaUpdate = 13
+	tagLeaderLoad  = 11
+	tagMove        = 12
+	tagMetaUpdate  = 13
+	tagManifestReq = 14
+	tagManifest    = 15
+	tagChunkReq    = 16
+	tagChunk       = 17
 )
+
+// hashSize mirrors content.HashSize (sha256) without importing the
+// store package: the codec only needs it to validate that a manifest's
+// hash blob is whole hashes.
+const hashSize = 32
 
 // Envelope frames every wire message with its sender. Both codecs — v2
 // binary and the gob fallback — encode this same type, so the transport
@@ -115,6 +128,57 @@ type LeaderLoad struct {
 	Units      map[catalog.CategoryID]float64
 }
 
+// ManifestReq asks a replica holder for a document's manifest. Xfer is
+// a requester-chosen transfer id echoed in every reply, so concurrent
+// fetches on one node demultiplex without shared state on the server.
+// Origin is the fetching node the manifest (from whoever holds the
+// document) must be sent to, and TTL bounds intra-cluster forwarding:
+// a contacted member that does not hold the document relays the
+// request to a few serving-cluster neighbors instead of answering, so
+// holder discovery rides the overlay exactly like queries do.
+type ManifestReq struct {
+	Doc    catalog.DocID
+	Xfer   uint64
+	Origin model.NodeID
+	TTL    int64
+}
+
+// Manifest answers a ManifestReq with the document's chunk table (size,
+// chunk size, concatenated SHA-256 chunk hashes). Missing true means
+// the addressed peer does not hold the document — the fetcher should
+// fail over to another replica holder.
+type Manifest struct {
+	Doc       catalog.DocID
+	Xfer      uint64
+	Size      int64
+	ChunkSize int64
+	Hashes    []byte
+	Missing   bool
+}
+
+// ChunkReq requests chunks [First, First+Count) of a document. It IS
+// the credit grant of the sliding-window flow control: a server never
+// sends a chunk that was not explicitly granted, so the receiver's
+// outstanding window — not the sender's appetite — bounds bulk data in
+// flight on the stream.
+type ChunkReq struct {
+	Doc   catalog.DocID
+	Xfer  uint64
+	First int64
+	Count int64
+}
+
+// Chunk carries one verified transfer unit. Missing true means the
+// server could not produce the granted chunk (it no longer holds the
+// document); Data is the chunk bytes otherwise.
+type Chunk struct {
+	Doc     catalog.DocID
+	Xfer    uint64
+	Index   int64
+	Data    []byte
+	Missing bool
+}
+
 // Move announces one category reassignment decided by the chosen leader
 // (§6.1.2 phase 4). Entry carries the destination cluster and the bumped
 // move counter; From is the source cluster, so receivers know whether
@@ -144,6 +208,12 @@ func appendString(b []byte, s string) []byte {
 // nothing for float bit patterns).
 func appendFloat(b []byte, v float64) []byte {
 	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendBytes writes a length-prefixed byte blob.
+func appendBytes(b []byte, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
 }
 
 // appendUpdates writes a piggybacked membership rumor list:
@@ -315,6 +385,41 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		b = appendInt(b, int64(m.From))
 		b = appendInt(b, int64(m.Entry.Cluster))
 		b = appendUint(b, m.Entry.MoveCounter)
+	case ManifestReq:
+		// manifest-req := doc xfer origin ttl
+		b = append(b, tagManifestReq)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Doc))
+		b = appendUint(b, m.Xfer)
+		b = appendInt(b, int64(m.Origin))
+		b = appendInt(b, m.TTL)
+	case Manifest:
+		// manifest := doc xfer missing size chunkSize hashes
+		b = append(b, tagManifest)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Doc))
+		b = appendUint(b, m.Xfer)
+		b = appendBool(b, m.Missing)
+		b = appendInt(b, m.Size)
+		b = appendInt(b, m.ChunkSize)
+		b = appendBytes(b, m.Hashes)
+	case ChunkReq:
+		// chunk-req := doc xfer first count
+		b = append(b, tagChunkReq)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Doc))
+		b = appendUint(b, m.Xfer)
+		b = appendInt(b, m.First)
+		b = appendInt(b, m.Count)
+	case Chunk:
+		// chunk := doc xfer index missing data
+		b = append(b, tagChunk)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Doc))
+		b = appendUint(b, m.Xfer)
+		b = appendInt(b, m.Index)
+		b = appendBool(b, m.Missing)
+		b = appendBytes(b, m.Data)
 	case overlay.MetadataUpdateMsg:
 		// meta-update := count (category cluster moveCounter)*   — sorted
 		// by category.
@@ -489,6 +594,27 @@ func (d *dec) catFloats(what string) map[catalog.CategoryID]float64 {
 	return m
 }
 
+// bytes reads a length-prefixed byte blob. The payload buffer is
+// reused across frames by Reader, so the blob is copied out — the one
+// allocation the message must own.
+func (d *dec) bytes(what string) []byte {
+	n := d.uint(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
 // count reads a list length and rejects values that cannot fit in the
 // remaining bytes (every element is at least one byte), so a corrupt
 // frame can never force a huge allocation.
@@ -615,6 +741,51 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		m.From = model.ClusterID(d.int("move source"))
 		m.Entry.Cluster = model.ClusterID(d.int("move destination"))
 		m.Entry.MoveCounter = d.uint("move counter")
+		env.Msg = m
+	case tagManifestReq:
+		var m ManifestReq
+		m.Doc = catalog.DocID(d.int("manifest-req doc"))
+		m.Xfer = d.uint("manifest-req xfer")
+		m.Origin = model.NodeID(d.int("manifest-req origin"))
+		m.TTL = d.int("manifest-req ttl")
+		if d.err == nil && (m.Origin < 0 || m.TTL < 0) {
+			d.fail("manifest-req routing")
+		}
+		env.Msg = m
+	case tagManifest:
+		var m Manifest
+		m.Doc = catalog.DocID(d.int("manifest doc"))
+		m.Xfer = d.uint("manifest xfer")
+		m.Missing = d.bool("manifest missing flag")
+		m.Size = d.int("manifest size")
+		m.ChunkSize = d.int("manifest chunk size")
+		m.Hashes = d.bytes("manifest hashes")
+		// A hash blob that is not whole sha256 hashes, or a negative
+		// geometry, can only come from corruption or a hostile peer.
+		if d.err == nil && (m.Size < 0 || m.ChunkSize < 0 || len(m.Hashes)%hashSize != 0) {
+			d.fail("manifest geometry")
+		}
+		env.Msg = m
+	case tagChunkReq:
+		var m ChunkReq
+		m.Doc = catalog.DocID(d.int("chunk-req doc"))
+		m.Xfer = d.uint("chunk-req xfer")
+		m.First = d.int("chunk-req first")
+		m.Count = d.int("chunk-req count")
+		if d.err == nil && (m.First < 0 || m.Count < 0) {
+			d.fail("chunk-req window")
+		}
+		env.Msg = m
+	case tagChunk:
+		var m Chunk
+		m.Doc = catalog.DocID(d.int("chunk doc"))
+		m.Xfer = d.uint("chunk xfer")
+		m.Index = d.int("chunk index")
+		m.Missing = d.bool("chunk missing flag")
+		m.Data = d.bytes("chunk data")
+		if d.err == nil && m.Index < 0 {
+			d.fail("chunk index sign")
+		}
 		env.Msg = m
 	case tagMetaUpdate:
 		n := d.count("entry count")

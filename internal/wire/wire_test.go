@@ -31,6 +31,10 @@ func init() {
 	gob.Register(LeaderLoad{})
 	gob.Register(Move{})
 	gob.Register(overlay.MetadataUpdateMsg{})
+	gob.Register(ManifestReq{})
+	gob.Register(Manifest{})
+	gob.Register(ChunkReq{})
+	gob.Register(Chunk{})
 }
 
 // sampleEnvelopes covers every message type, including negative ids
@@ -85,6 +89,17 @@ func sampleEnvelopes() []Envelope {
 			9: {Cluster: 1, MoveCounter: 1},
 		}}},
 		{From: 3, Msg: overlay.MetadataUpdateMsg{}},
+		{From: 7, Msg: ManifestReq{Doc: 42, Xfer: 1<<33 + 5, Origin: 7, TTL: 2}},
+		{From: 7, Msg: ManifestReq{}},
+		{From: 8, Msg: Manifest{
+			Doc: 42, Xfer: 9, Size: 130<<10 + 17, ChunkSize: 64 << 10,
+			Hashes: bytes.Repeat([]byte{0xAB, 0x12}, 48), // 3 chunks * 32 bytes
+		}},
+		{From: 8, Msg: Manifest{Doc: 3, Xfer: 1, Missing: true}},
+		{From: 7, Msg: ChunkReq{Doc: 42, Xfer: 9, First: 4, Count: 32}},
+		{From: 7, Msg: ChunkReq{}},
+		{From: 8, Msg: Chunk{Doc: 42, Xfer: 9, Index: 4, Data: []byte{1, 2, 3, 0, 255, 7}}},
+		{From: 8, Msg: Chunk{Doc: 42, Xfer: 9, Index: 5, Missing: true}},
 	}
 }
 
@@ -169,6 +184,16 @@ func normalizeMsg(m any) any {
 			v.Entries = nil
 		}
 		return v
+	case Manifest:
+		if len(v.Hashes) == 0 {
+			v.Hashes = nil
+		}
+		return v
+	case Chunk:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
 	}
 	return m
 }
@@ -204,6 +229,49 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	}
 	if _, err := DecodeEnvelope(nil); err == nil {
 		t.Error("empty frame decoded without error")
+	}
+	// Content-frame specific corruption: a manifest whose hash blob is
+	// not whole sha256 hashes, and negative transfer geometry. Both can
+	// only come from corruption or a hostile peer.
+	badManifest, err := AppendEnvelope(nil, Envelope{From: 1, Msg: Manifest{
+		Doc: 7, Xfer: 1, Size: 96, ChunkSize: 32, Hashes: make([]byte, 96),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := append([]byte{}, badManifest...)
+	// Shrink the hash blob length prefix from 96 to 95: still inside
+	// the payload, no longer a whole number of hashes.
+	for i := range trunc {
+		if trunc[i] == 96 && i > 4 {
+			trunc[i] = 95
+			trunc = trunc[:len(trunc)-1]
+			break
+		}
+	}
+	if _, err := DecodeEnvelope(trunc); err == nil {
+		t.Error("ragged manifest hash blob decoded without error")
+	}
+	negReq, err := AppendEnvelope(nil, Envelope{From: 1, Msg: ChunkReq{Doc: 7, Xfer: 1, First: -1, Count: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEnvelope(negReq); err == nil {
+		t.Error("negative chunk-req window decoded without error")
+	}
+	negChunk, err := AppendEnvelope(nil, Envelope{From: 1, Msg: Chunk{Doc: 7, Xfer: 1, Index: -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEnvelope(negChunk); err == nil {
+		t.Error("negative chunk index decoded without error")
+	}
+	negTTL, err := AppendEnvelope(nil, Envelope{From: 1, Msg: ManifestReq{Doc: 7, Xfer: 1, Origin: 1, TTL: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEnvelope(negTTL); err == nil {
+		t.Error("negative manifest-req ttl decoded without error")
 	}
 }
 
