@@ -119,9 +119,14 @@ func machineLoad(node *livenet.Node, spec proto.LoadSpec) (*proto.LoadReport, er
 				}
 				for i := 0; i < quota; i++ {
 					var d catalog.DocID
-					if zipf != nil {
+					switch {
+					case spec.FetchHotFraction > 0 && rng.Float64() < spec.FetchHotFraction:
+						// The flash-crowd spike: the whole fleet chases
+						// one document.
+						d = docs[spec.FetchHotDoc%len(docs)].ID
+					case zipf != nil:
 						d = docs[zipf.Uint64()].ID
-					} else {
+					default:
 						d = docs[rng.Intn(len(docs))].ID
 					}
 					fctx, cancel := context.WithTimeout(context.Background(), ftimeout)

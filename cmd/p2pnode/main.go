@@ -195,6 +195,8 @@ func main() {
 	fairThresh := flag.Float64("fairness-threshold", 0.83, "fairness index below which the chosen leader rebalances")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	contentOn := flag.Bool("content", false, "enable the content data plane (chunk store, Fetch, byte-shipping moves)")
+	contentCacheMB := flag.Int64("content-cachemb", 0, "demand-driven replica cache budget in MB (0 = off; requires -content)")
+	cacheAdmit := flag.Int("cache-admit", 0, "demand hits before a fetched doc earns a cache slot (0 = default, 2)")
 	docBytes := flag.Int64("docbytes", 0, "shape: bytes per document (0 = catalog default, 4 MB)")
 	shards := flag.Int("shards", 0, "engine shards (parallel query loops; 0 = GOMAXPROCS, min 2, max 64)")
 	maxInFlight := flag.Int("maxinflight", 0, "admission bound on concurrently served queries (0 = default)")
@@ -233,7 +235,10 @@ func main() {
 		}
 	}
 	if *contentOn {
-		opts.Content = &livenet.ContentConfig{}
+		opts.Content = &livenet.ContentConfig{
+			CacheBytes:     *contentCacheMB << 20,
+			CacheAdmitHits: *cacheAdmit,
+		}
 	}
 	// Machine mode runs every link through a chaos controller so the
 	// orchestrator can inject faults mid-act. Seeded per process: each

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"p2pshare/internal/catalog"
 )
@@ -186,10 +187,18 @@ func SyntheticDoc(doc catalog.DocID, size int64) []byte {
 }
 
 // docEntry is one held document: explicit bytes, or synthetic (data
-// nil) where only the size is recorded.
+// nil) where only the size is recorded. Cached entries (demand-driven
+// replicas installed by PutCached) additionally carry a last-hit stamp
+// so the budget eviction and decay passes can order them; base entries
+// (Put/Register) are never evicted or decayed.
 type docEntry struct {
-	data []byte
-	size int64
+	data   []byte
+	size   int64
+	cached bool
+	// last is the store clock value of the most recent serve; a pointer
+	// so touch-on-serve works under the read lock shared by concurrent
+	// chunk streams.
+	last *atomic.Int64
 }
 
 // Store is a node's chunk store: the set of documents it can serve,
@@ -201,6 +210,18 @@ type Store struct {
 	chunkSize int
 	docs      map[catalog.DocID]docEntry
 	manifests map[catalog.DocID]*Manifest
+
+	// clock is a logical tick advanced on every cached-entry serve;
+	// LRU ordering compares these stamps, so eviction and decay are
+	// deterministic under test (no wall-clock reads).
+	clock atomic.Int64
+	// cacheBudget caps the total bytes held by cached entries
+	// (0 = caching disabled); cacheBytes is the current total.
+	cacheBudget int64
+	cacheBytes  int64
+	// decayMark is the clock value at the previous Decay call: cached
+	// entries not served since then are dropped by the next Decay.
+	decayMark int64
 }
 
 // NewStore creates a store serving chunks of the given size
@@ -236,19 +257,148 @@ func (s *Store) Register(doc catalog.DocID, size int64) {
 }
 
 // Put installs explicit bytes for doc (replacing any synthetic
-// registration) and returns its manifest.
+// registration or cached copy) and returns its manifest.
 func (s *Store) Put(doc catalog.DocID, data []byte) *Manifest {
 	m := BuildManifest(doc, data, s.chunkSize)
 	s.mu.Lock()
+	s.uncacheLocked(doc)
 	s.docs[doc] = docEntry{data: data, size: int64(len(data))}
 	s.manifests[doc] = m
 	s.mu.Unlock()
 	return m
 }
 
+// SetCacheBudget sets the byte budget for cached (demand-driven)
+// replicas. Shrinking the budget evicts least-recently-hit cached
+// entries until the remainder fits; 0 disables caching and drops every
+// cached entry.
+func (s *Store) SetCacheBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.mu.Lock()
+	s.cacheBudget = bytes
+	s.evictLocked(0)
+	s.mu.Unlock()
+}
+
+// CacheBudget returns the cached-replica byte budget.
+func (s *Store) CacheBudget() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cacheBudget
+}
+
+// CacheBytes returns the bytes currently held by cached replicas.
+func (s *Store) CacheBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cacheBytes
+}
+
+// CachedLen is the number of cached (evictable) documents held.
+func (s *Store) CachedLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.docs {
+		if e.cached {
+			n++
+		}
+	}
+	return n
+}
+
+// PutCached installs doc as a demand-driven replica under the cache
+// budget, evicting least-recently-hit cached entries to make room.
+// It reports whether the copy was installed: false when caching is
+// disabled, the document alone exceeds the budget, or the store
+// already holds the document (a base copy always wins).
+func (s *Store) PutCached(doc catalog.DocID, data []byte) bool {
+	size := int64(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheBudget <= 0 || size > s.cacheBudget {
+		return false
+	}
+	if _, ok := s.docs[doc]; ok {
+		return false
+	}
+	s.evictLocked(size)
+	last := new(atomic.Int64)
+	last.Store(s.clock.Add(1))
+	s.docs[doc] = docEntry{data: data, size: size, cached: true, last: last}
+	s.manifests[doc] = BuildManifest(doc, data, s.chunkSize)
+	s.cacheBytes += size
+	return true
+}
+
+// evictLocked drops least-recently-hit cached entries until cached
+// bytes plus the incoming size fit the budget. Caller holds mu.
+func (s *Store) evictLocked(incoming int64) {
+	for s.cacheBytes+incoming > s.cacheBudget && s.cacheBytes > 0 {
+		victim := catalog.DocID(0)
+		oldest := int64(0)
+		found := false
+		for d, e := range s.docs {
+			if !e.cached {
+				continue
+			}
+			if hit := e.last.Load(); !found || hit < oldest {
+				victim, oldest, found = d, hit, true
+			}
+		}
+		if !found {
+			return
+		}
+		s.uncacheLocked(victim)
+		delete(s.docs, victim)
+		delete(s.manifests, victim)
+	}
+}
+
+// uncacheLocked credits back the byte accounting if doc is a cached
+// entry (without removing it). Caller holds mu.
+func (s *Store) uncacheLocked(doc catalog.DocID) {
+	if e, ok := s.docs[doc]; ok && e.cached {
+		s.cacheBytes -= e.size
+	}
+}
+
+// Decay drops cached replicas that have not served a chunk or manifest
+// since the previous Decay call, returning the dropped doc ids — the
+// aging half of demand-driven replication: pushed and fetched copies
+// disappear once the crowd moves on, base copies never do.
+func (s *Store) Decay() []catalog.DocID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dropped []catalog.DocID
+	for d, e := range s.docs {
+		if e.cached && e.last.Load() <= s.decayMark {
+			dropped = append(dropped, d)
+		}
+	}
+	for _, d := range dropped {
+		s.uncacheLocked(d)
+		delete(s.docs, d)
+		delete(s.manifests, d)
+	}
+	s.decayMark = s.clock.Load()
+	return dropped
+}
+
+// touch stamps a cached entry's last-hit clock; called under RLock
+// from the serve paths (the pointer makes that safe).
+func (s *Store) touch(e docEntry) {
+	if e.cached {
+		e.last.Store(s.clock.Add(1))
+	}
+}
+
 // Drop forgets doc entirely.
 func (s *Store) Drop(doc catalog.DocID) {
 	s.mu.Lock()
+	s.uncacheLocked(doc)
 	delete(s.docs, doc)
 	delete(s.manifests, doc)
 	s.mu.Unlock()
@@ -276,6 +426,9 @@ func (s *Store) Manifest(doc catalog.DocID) (*Manifest, bool) {
 	s.mu.RLock()
 	m, ok := s.manifests[doc]
 	e, held := s.docs[doc]
+	if held {
+		s.touch(e)
+	}
 	s.mu.RUnlock()
 	if ok {
 		return m, true
@@ -317,6 +470,9 @@ func syntheticManifest(doc catalog.DocID, size int64, chunkSize int) *Manifest {
 func (s *Store) Chunk(doc catalog.DocID, idx int) ([]byte, bool) {
 	s.mu.RLock()
 	e, ok := s.docs[doc]
+	if ok {
+		s.touch(e)
+	}
 	s.mu.RUnlock()
 	if !ok || idx < 0 {
 		return nil, false
@@ -341,6 +497,9 @@ func (s *Store) Chunk(doc catalog.DocID, idx int) ([]byte, bool) {
 func (s *Store) Bytes(doc catalog.DocID) ([]byte, bool) {
 	s.mu.RLock()
 	e, ok := s.docs[doc]
+	if ok {
+		s.touch(e)
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return nil, false

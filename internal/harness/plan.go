@@ -54,6 +54,11 @@ type Act struct {
 	FetchConcurrency int     `json:"fetch_concurrency,omitempty"`
 	FetchZipfS       float64 `json:"fetch_zipf_s,omitempty"`
 	FetchTimeoutMS   int     `json:"fetch_timeout_ms,omitempty"`
+	// FetchHotDoc + FetchHotFraction aim that fraction of the fetches at
+	// one document — the single-document flash crowd (FetchHotFraction 0
+	// disables; see proto.LoadSpec).
+	FetchHotDoc      int     `json:"fetch_hot_doc,omitempty"`
+	FetchHotFraction float64 `json:"fetch_hot_fraction,omitempty"`
 	// KillNodes are hard-killed before the act's load; RestartNodes are
 	// brought back (same id, fresh port) before it.
 	KillNodes    []int `json:"kill_nodes,omitempty"`
@@ -97,6 +102,10 @@ type Plan struct {
 	// (0 = the catalog default, 4 MB — oversized for harness runs).
 	Content  bool  `json:"content,omitempty"`
 	DocBytes int64 `json:"doc_bytes,omitempty"`
+	// ContentCacheMB budgets each node's demand-driven replica cache
+	// (livenet.ContentConfig.CacheBytes); 0 leaves caching off. Only
+	// meaningful with Content.
+	ContentCacheMB int64 `json:"content_cache_mb,omitempty"`
 
 	// Per-node configuration (0 = the node's default).
 	Shards            int     `json:"shards,omitempty"`

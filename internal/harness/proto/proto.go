@@ -84,6 +84,11 @@ type LoadSpec struct {
 	FetchZipfS       float64 `json:"fetch_zipf_s,omitempty"`
 	// FetchTimeoutMS bounds each fetch (0 = 60s).
 	FetchTimeoutMS int `json:"fetch_timeout_ms,omitempty"`
+	// FetchHotFraction redirects this fraction of the fetches at the
+	// single document FetchHotDoc — the flash-crowd spike on the content
+	// plane. 0 disables (and FetchHotDoc is then ignored).
+	FetchHotDoc      int     `json:"fetch_hot_doc,omitempty"`
+	FetchHotFraction float64 `json:"fetch_hot_fraction,omitempty"`
 	// Seed makes the node's workload stream deterministic.
 	Seed int64 `json:"seed"`
 }

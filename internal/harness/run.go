@@ -128,6 +128,22 @@ func counterDelta(prev, cur map[int]*proto.StatsReport, key string) float64 {
 	return float64(d)
 }
 
+// maxCounterDelta is the largest single-node delta of a counter — the
+// hottest node's share of the fleet-wide movement.
+func maxCounterDelta(prev, cur map[int]*proto.StatsReport, key string) float64 {
+	var best int64
+	for id, s := range cur {
+		d := s.Counters[key]
+		if ps, ok := prev[id]; ok {
+			d -= ps.Counters[key]
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return float64(best)
+}
+
 // maxFairness is the fleet's best fairness reading (only the current
 // leader of an epoch evaluates; everyone else reports -1).
 func maxFairness(stats map[int]*proto.StatsReport) int64 {
@@ -289,6 +305,7 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 	var served []float64
 	var wireIn, wireOut, hits, misses float64
 	var xferIn, xferOut, hashFail float64
+	var cacheInstalls, pushInstalls, pushes float64
 	for _, s := range final {
 		served = append(served, float64(s.Counters["served"]))
 		wireIn += float64(s.Counters["wire_bytes_in"])
@@ -298,6 +315,9 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 		xferIn += float64(s.Counters["transfer_bytes_in"])
 		xferOut += float64(s.Counters["transfer_bytes_out"])
 		hashFail += float64(s.Counters["chunk_hash_fail"])
+		cacheInstalls += float64(s.Counters["content_cache_installs"])
+		pushInstalls += float64(s.Counters["replicate_installs"])
+		pushes += float64(s.Counters["replicate_pushes"])
 	}
 	res.Totals["queries"] = totQ
 	res.Totals["ok"] = totOK
@@ -340,6 +360,30 @@ func runProcessPlan(p Plan, cfg RunConfig) (Result, error) {
 			// alongside — the "queries stay fast under bulk" gate.
 			res.Totals["bulk_query_p95_ms"] = bulkLat.Quantile(0.95)
 		}
+		res.Totals["content_cache_installs"] = cacheInstalls
+		res.Totals["replicate_installs"] = pushInstalls
+		res.Totals["replicate_pushes"] = pushes
+	}
+	// Flash-crowd trajectory: a plan with a "steady" and a "spike" act
+	// (both fetching) gates on how much the spike degrades fetch tail
+	// latency over steady state, and on how concentrated the spike's
+	// served bytes were on the hottest origin.
+	var steadyP99, spikeP99 float64
+	for _, ar := range res.Acts {
+		switch ar.Name {
+		case "steady":
+			steadyP99 = ar.Metrics["fetch_p99_ms"]
+		case "spike":
+			spikeP99 = ar.Metrics["fetch_p99_ms"]
+			if share, ok := ar.Metrics["origin_share"]; ok {
+				res.Totals["spike_origin_share"] = share
+			}
+		}
+	}
+	if steadyP99 > 0 && spikeP99 > 0 {
+		res.Totals["steady_fetch_p99_ms"] = steadyP99
+		res.Totals["spike_fetch_p99_ms"] = spikeP99
+		res.Totals["spike_p99_over_steady"] = spikeP99 / steadyP99
 	}
 	res.Totals["adapt_convergence_s"] = convergeBest
 
@@ -429,6 +473,7 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 		IntervalMS: act.IntervalMS, TimeoutMS: act.TimeoutMS,
 		Fetches: act.FetchesPerNode, FetchConcurrency: act.FetchConcurrency,
 		FetchZipfS: act.FetchZipfS, FetchTimeoutMS: act.FetchTimeoutMS,
+		FetchHotDoc: act.FetchHotDoc, FetchHotFraction: act.FetchHotFraction,
 	}
 	if spec.Concurrency <= 0 {
 		spec.Concurrency = 4
@@ -536,6 +581,19 @@ func runAct(r *Runner, p Plan, act Act, target int64, prev map[int]*proto.StatsR
 			m["cache_hit_rate"] = hits / lookups
 		}
 		m["fairness_x1000"] = float64(maxFairness(cur))
+		if act.FetchesPerNode > 0 {
+			// Origin concentration: the busiest holder's share of the
+			// act's served transfer bytes. 1/N is perfectly spread; near
+			// 1.0 means one origin served the whole crowd — the reading
+			// demand-driven replication is meant to push down.
+			total := counterDelta(prev, cur, "transfer_bytes_out")
+			m["transfer_bytes_out"] = total
+			if total > 0 {
+				m["origin_share"] = maxCounterDelta(prev, cur, "transfer_bytes_out") / total
+			}
+			m["cache_installs"] = counterDelta(prev, cur, "content_cache_installs")
+			m["replicate_installs"] = counterDelta(prev, cur, "replicate_installs")
+		}
 	}
 	if act.TrackConvergence {
 		m["converge_s"] = convergeS

@@ -120,6 +120,9 @@ func nodeArgs(id int, bootstrap string, p Plan, sync string) []string {
 	}
 	if p.Content {
 		args = append(args, "-content")
+		if p.ContentCacheMB > 0 {
+			args = append(args, "-content-cachemb", strconv.FormatInt(p.ContentCacheMB, 10))
+		}
 	}
 	if p.DocBytes > 0 {
 		args = append(args, "-docbytes", strconv.FormatInt(p.DocBytes, 10))

@@ -97,6 +97,18 @@ type adaptState struct {
 	// finalized per-cluster aggregates this leader has heard.
 	agg   map[model.ClusterID]*clusterLoad
 	loads map[model.ClusterID]*clusterLoad
+	// serves accumulates per-member content-serve loads at a leader
+	// (LeaderLoad.Served), feeding the demand-driven replication hints.
+	serves map[model.ClusterID]*serveLoad
+}
+
+// serveLoad is one cluster's per-member serve-load measurements for one
+// epoch — the content-plane analogue of clusterLoad, kept per member
+// because the leader's job is to pair overloaded holders with
+// under-loaded push targets, not to aggregate.
+type serveLoad struct {
+	epoch  uint64
+	byNode map[model.NodeID]int64
 }
 
 // clusterLoad is one cluster's measured load for one epoch.
@@ -196,6 +208,7 @@ func (n *Node) enableAdaptation(cfg AdaptConfig) {
 		mine:    mine,
 		agg:     make(map[model.ClusterID]*clusterLoad),
 		loads:   make(map[model.ClusterID]*clusterLoad),
+		serves:  make(map[model.ClusterID]*serveLoad),
 	}
 	n.gauges.Set("adapt_enabled", 1)
 	tick := cfg.Interval / 8
@@ -230,6 +243,9 @@ func (n *Node) adaptTick(now time.Time) {
 	switch {
 	case ad.step == 0:
 		n.adaptReport(e)
+		if e%cacheDecayEpochs == 0 {
+			n.contentDecay()
+		}
 		ad.step = 1
 	case ad.step == 1 && frac >= ad.cfg.Interval/2:
 		n.adaptAggregate(e)
@@ -269,6 +285,14 @@ func (n *Node) leaderOf(cl model.ClusterID) (model.NodeID, bool) {
 func (n *Node) adaptReport(e uint64) {
 	ad := n.adapt
 	measured := n.drainHits()
+	// The content plane reports alongside the query plane: the drained
+	// per-doc serve window feeds this node's own hot-doc ranking
+	// (lastServed, read when a push hint arrives) and its total rides
+	// the same LeaderLoad frame to the leader.
+	servedDocs, servedTotal := n.drainServed()
+	if len(servedDocs) > 0 {
+		n.lastServed = servedDocs
+	}
 	for _, cl := range ad.mine {
 		hits, units := n.ownLoad(cl, measured)
 		leader, ok := n.leaderOf(cl)
@@ -277,13 +301,28 @@ func (n *Node) adaptReport(e uint64) {
 		}
 		if leader == n.id {
 			ad.mergeReport(cl, e, hits, units)
+			ad.mergeServe(cl, e, n.id, servedTotal)
 			continue
 		}
-		if len(hits) == 0 && len(units) == 0 {
+		if len(hits) == 0 && len(units) == 0 && servedTotal == 0 {
 			continue
 		}
-		n.send(leader, wire.LeaderLoad{Epoch: e, Cluster: cl, Hits: hits, Units: units})
+		n.send(leader, wire.LeaderLoad{Epoch: e, Cluster: cl, Hits: hits, Units: units, Served: servedTotal})
 	}
+}
+
+// contentDecay ages the replica cache one decay interval: cached copies
+// not served since the previous pass are dropped, and the demand window
+// gating cache admission resets — so "recent demand" means within the
+// last few epochs on both sides.
+func (n *Node) contentDecay() {
+	if n.store == nil || n.cacheAdmit <= 0 {
+		return
+	}
+	if dropped := n.store.Decay(); len(dropped) > 0 {
+		n.stats.Add("content_cache_decayed", int64(len(dropped)))
+	}
+	n.resetDemand()
 }
 
 // ownLoad snapshots this node's measurement for one of its clusters:
@@ -338,6 +377,86 @@ func (ad *adaptState) mergeReport(cl model.ClusterID, e uint64, hits map[catalog
 	}
 }
 
+// mergeServe records one member's serve-load report at a leader; a
+// report from a newer epoch resets the accumulator.
+func (ad *adaptState) mergeServe(cl model.ClusterID, e uint64, from model.NodeID, served int64) {
+	sv := ad.serves[cl]
+	if sv == nil || sv.epoch != e {
+		sv = &serveLoad{epoch: e, byNode: make(map[model.NodeID]int64)}
+		ad.serves[cl] = sv
+	}
+	sv.byNode[from] = served
+}
+
+const (
+	// pushHintMinServes is the absolute serve-load floor below which a
+	// member is never flagged overloaded — trivial load needs no
+	// replication however skewed it is.
+	pushHintMinServes = 16
+	// maxLiteTargets caps how many under-loaded members one hint names.
+	maxLiteTargets = 4
+)
+
+// pushHints is the leader half of demand-driven replication, run at
+// aggregation time: pair members whose measured serve load is far above
+// the cluster mean with the lightest-loaded live members, and tell each
+// overloaded holder who to push at (LeaderLoad.Lite). Members that
+// reported nothing count as zero load — they are exactly the idle
+// capacity a flash crowd should spread onto.
+func (n *Node) pushHints(cl model.ClusterID, e uint64) {
+	ad := n.adapt
+	sv := ad.serves[cl]
+	if sv == nil || sv.epoch != e || len(sv.byNode) == 0 {
+		return
+	}
+	members := ad.members[cl]
+	if len(members) < 2 {
+		return
+	}
+	var total int64
+	for _, w := range sv.byNode {
+		total += w
+	}
+	if total < pushHintMinServes {
+		return
+	}
+	mean := float64(total) / float64(len(members))
+	var lite []model.NodeID
+	for _, id := range members {
+		if id != n.id && n.det != nil && !n.det.IsLive(id) {
+			continue
+		}
+		if float64(sv.byNode[id]) <= mean {
+			lite = append(lite, id)
+		}
+	}
+	sort.Slice(lite, func(i, j int) bool {
+		if sv.byNode[lite[i]] != sv.byNode[lite[j]] {
+			return sv.byNode[lite[i]] < sv.byNode[lite[j]]
+		}
+		return lite[i] < lite[j]
+	})
+	if len(lite) > maxLiteTargets {
+		lite = lite[:maxLiteTargets]
+	}
+	if len(lite) == 0 {
+		return
+	}
+	hint := wire.LeaderLoad{Epoch: e, Cluster: cl, Lite: lite}
+	for _, id := range members {
+		w, reported := sv.byNode[id]
+		if !reported || w < pushHintMinServes || float64(w) <= 2*mean {
+			continue
+		}
+		n.stats.Add("replicate_hints", 1)
+		if id == n.id {
+			n.pushReplicas(lite)
+			continue
+		}
+		n.send(id, hint)
+	}
+}
+
 // adaptAggregate is step 1 at each leader: finalize the cluster's load
 // and share it with every other cluster's leader.
 func (n *Node) adaptAggregate(e uint64) {
@@ -346,6 +465,7 @@ func (n *Node) adaptAggregate(e uint64) {
 		if leader, ok := n.leaderOf(cl); !ok || leader != n.id {
 			continue
 		}
+		n.pushHints(cl, e)
 		st := ad.agg[cl]
 		if st == nil || st.epoch != e {
 			st = &clusterLoad{
@@ -418,7 +538,6 @@ func (n *Node) sanitizeLoad(m *wire.LeaderLoad) {
 // report (accepted only by the believed leader of the reporting
 // cluster) and a leader-to-leader aggregate.
 func (n *Node) handleLeaderLoad(from model.NodeID, m wire.LeaderLoad) {
-	_ = from
 	ad := n.adapt
 	if ad == nil {
 		n.stats.Add("adapt_dropped_loads", 1)
@@ -435,6 +554,18 @@ func (n *Node) handleLeaderLoad(from model.NodeID, m wire.LeaderLoad) {
 		}
 		return
 	}
+	if len(m.Lite) > 0 {
+		// A leader's replication hint: this node's serve load stood out
+		// and Lite names the under-loaded members to push hot replicas
+		// at. Accepted only from the believed leader of the named
+		// cluster, so a hostile frame cannot direct pushes.
+		if leader, ok := n.leaderOf(m.Cluster); ok && leader == from {
+			n.pushReplicas(m.Lite)
+		} else {
+			n.stats.Add("adapt_dropped_loads", 1)
+		}
+		return
+	}
 	if leader, ok := n.leaderOf(m.Cluster); !ok || leader != n.id {
 		// Liveness views briefly disagree on the leader; drop and let
 		// the next epoch converge.
@@ -442,6 +573,7 @@ func (n *Node) handleLeaderLoad(from model.NodeID, m wire.LeaderLoad) {
 		return
 	}
 	ad.mergeReport(m.Cluster, m.Epoch, m.Hits, m.Units)
+	ad.mergeServe(m.Cluster, m.Epoch, from, m.Served)
 }
 
 // adaptEvaluate is steps 2–4 at the chosen leader: fairness over the
@@ -609,7 +741,17 @@ func (n *Node) applyMoveEntry(cat catalog.CategoryID, e overlay.DCRTEntry) bool 
 		// finish pulling bytes, it holds the only copies, and
 		// fetchSources keeps routing transfers there as a fallback
 		// (the paper's lazy rebalancing, made real for the data plane).
-		n.prevCluster[cat] = old.Cluster
+		// The record expires — long enough to cover the background
+		// shipping, short enough that repeated reassignments cannot grow
+		// the map without bound — and every landing move prunes the
+		// stale remainder.
+		now := time.Now()
+		ttl := n.prevClusterTTLOverride
+		if ttl <= 0 {
+			ttl = prevClusterTTL
+		}
+		n.prevCluster[cat] = prevClusterRecord{cluster: old.Cluster, expires: now.Add(ttl)}
+		n.prunePrevClusters(now)
 	}
 	if ad := n.adapt; ad != nil {
 		if ms := ad.members[e.Cluster]; containsNode(ms, n.id) {

@@ -207,8 +207,32 @@ type Node struct {
 	xferTput        *metrics.SyncHistogram
 	rttMu           sync.Mutex
 	rtt             map[model.NodeID]float64
-	prevCluster     map[catalog.CategoryID]model.ClusterID
+	prevCluster     map[catalog.CategoryID]prevClusterRecord
 	moveFetchers    atomic.Int64
+
+	// moveMu guards the owed-document queue the move-shipping workers
+	// drain (shipMovedDocs/moveFetchLoop): docs queue at the fetcher cap
+	// instead of being dropped.
+	moveMu      sync.Mutex
+	movePending []catalog.DocID
+
+	// Demand-driven replication state (transfer.go). demand counts
+	// recent per-doc interest (own fetches + manifest requests seen) and
+	// gates cache admission at cacheAdmit observations (0 = caching
+	// off); servedDocs counts per-doc serve load drained each adaptation
+	// epoch (lastServed keeps the previous window for hot-doc pushes,
+	// control-loop owned); pullFetchers bounds concurrent background
+	// replica pulls triggered by wire.Replicate.
+	demandMu     sync.Mutex
+	demand       map[catalog.DocID]int
+	cacheAdmit   int
+	serveMu      sync.Mutex
+	servedDocs   map[catalog.DocID]int64
+	lastServed   map[catalog.DocID]int64
+	pullFetchers atomic.Int64
+	// prevClusterTTLOverride shortens the shedding-cluster fallback TTL
+	// in tests; 0 means the package default (prevClusterTTL).
+	prevClusterTTLOverride time.Duration
 
 	// legacyGob makes the node behave like a pre-v2 peer on inbound
 	// streams: the preamble is never acked, so v2 senders fall back to
@@ -283,10 +307,19 @@ func newNode(inst *model.Instance, id model.NodeID, ln net.Listener, seed int64,
 		xfers:       make(map[uint64]chan envelope),
 		xferTput:    &metrics.SyncHistogram{},
 		rtt:         make(map[model.NodeID]float64),
-		prevCluster: make(map[catalog.CategoryID]model.ClusterID),
+		prevCluster: make(map[catalog.CategoryID]prevClusterRecord),
+		demand:      make(map[catalog.DocID]int),
+		servedDocs:  make(map[catalog.DocID]int64),
 	}
 	if opts.Content != nil {
 		n.store = content.NewStore(opts.Content.ChunkSize)
+		if opts.Content.CacheBytes > 0 {
+			n.store.SetCacheBudget(opts.Content.CacheBytes)
+			n.cacheAdmit = opts.Content.CacheAdmitHits
+			if n.cacheAdmit <= 0 {
+				n.cacheAdmit = defaultCacheAdmitHits
+			}
+		}
 	}
 	n.book.set(id, ln.Addr().String())
 	if opts.WriterIdle != 0 {
@@ -365,6 +398,8 @@ func (n *Node) Stats() map[string]int64 {
 	s["transfers_active"] = n.transfersActive.Load()
 	if n.store != nil {
 		s["content_docs_held"] = int64(n.store.Len())
+		s["content_cache_bytes"] = n.store.CacheBytes()
+		s["content_cache_docs"] = int64(n.store.CachedLen())
 	}
 	if cs := n.cacheSt.Load(); cs != nil {
 		s["cache_capacity_bytes"] = cs.capBytes
@@ -848,6 +883,9 @@ func (n *Node) routeInbound(env envelope) bool {
 		return true
 	case wire.Chunk:
 		n.deliverXfer(m.Xfer, env)
+		return true
+	case wire.Replicate:
+		n.handleReplicate(env.From, m)
 		return true
 	}
 	select {

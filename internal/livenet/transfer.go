@@ -81,6 +81,32 @@ const (
 	maxMoveFetchers = 2
 	// moveFetchTimeout backstops one background move transfer.
 	moveFetchTimeout = 2 * time.Minute
+	// defaultCacheAdmitHits is the demand threshold a document must
+	// clear before a fetched copy is admitted to the replica cache: two
+	// observations (own fetches plus manifest requests seen) within one
+	// demand window, so a one-off fetch never churns the cache.
+	defaultCacheAdmitHits = 2
+	// maxDemandEntries bounds the per-doc demand counter map; at the cap
+	// the whole window resets (the counters are a recency signal, not an
+	// account).
+	maxDemandEntries = 4096
+	// maxPullFetchers bounds concurrent background replica pulls
+	// triggered by wire.Replicate pushes; pushes beyond it are dropped
+	// (replication is best-effort by design).
+	maxPullFetchers = 2
+	// pushHotDocs is how many of its hottest documents an overloaded
+	// holder pushes per epoch, and pushTargets how many under-loaded
+	// members each of them goes to.
+	pushHotDocs = 2
+	pushTargets = 2
+	// cacheDecayEpochs is how many adaptation epochs a cached replica
+	// may sit unserved before the decay pass drops it.
+	cacheDecayEpochs = 4
+	// prevClusterTTL bounds how long a moved category's shedding cluster
+	// stays a fetch-source fallback: long enough to cover the gaining
+	// holders' background shipping (moveFetchTimeout), short enough that
+	// the map cannot grow without bound across repeated reassignments.
+	prevClusterTTL = 3 * time.Minute
 )
 
 // ErrNoContent reports a fetch that ran out of sources: every reachable
@@ -95,6 +121,16 @@ type ContentConfig struct {
 	// ChunkSize is the transfer unit in bytes; 0 means
 	// content.DefaultChunkSize (64 KB).
 	ChunkSize int
+	// CacheBytes budgets the demand-driven replica cache: a successful
+	// remote Fetch (or an accepted Replicate push) installs the verified
+	// bytes as an evictable cached copy, making this node a real replica
+	// holder that answers ManifestReq floods. 0 disables caching.
+	CacheBytes int64
+	// CacheAdmitHits is the recent-demand threshold a document must
+	// clear before a fetched copy is admitted (0 → 2): only documents
+	// fetched or asked about repeatedly within one demand window earn a
+	// cache slot.
+	CacheAdmitHits int
 }
 
 // ContentStore exposes the node's chunk store — nil when the content
@@ -105,6 +141,57 @@ func (n *Node) ContentStore() *content.Store { return n.store }
 // TransferThroughput exposes the per-transfer throughput histogram:
 // one observation (KB/s) per completed remote fetch.
 func (n *Node) TransferThroughput() *metrics.SyncHistogram { return n.xferTput }
+
+// noteDemand counts one observation of recent demand for doc — an own
+// fetch or a manifest request seen — and returns the updated count. The
+// window resets wholesale at the size cap: the counters are a recency
+// signal driving cache admission, not an account.
+func (n *Node) noteDemand(d catalog.DocID) int {
+	n.demandMu.Lock()
+	if len(n.demand) >= maxDemandEntries {
+		n.demand = make(map[catalog.DocID]int)
+	}
+	n.demand[d]++
+	hits := n.demand[d]
+	n.demandMu.Unlock()
+	return hits
+}
+
+// resetDemand clears the demand window (the decay tick calls it, so
+// "recent" means within the last few adaptation epochs).
+func (n *Node) resetDemand() {
+	n.demandMu.Lock()
+	n.demand = make(map[catalog.DocID]int)
+	n.demandMu.Unlock()
+}
+
+// noteServe counts weight units of serve load attributed to doc — one
+// per chunk streamed, one per manifest answered — feeding both the
+// holder's hot-doc ranking and the per-epoch total reported to the
+// cluster leader.
+func (n *Node) noteServe(d catalog.DocID, weight int64) {
+	n.serveMu.Lock()
+	if len(n.servedDocs) >= maxDemandEntries {
+		n.servedDocs = make(map[catalog.DocID]int64)
+	}
+	n.servedDocs[d] += weight
+	n.serveMu.Unlock()
+}
+
+// drainServed resets the per-doc serve counters and returns the drained
+// map plus its total — one epoch's content-plane load measurement
+// (adaptReport calls it alongside drainHits).
+func (n *Node) drainServed() (map[catalog.DocID]int64, int64) {
+	n.serveMu.Lock()
+	out := n.servedDocs
+	n.servedDocs = make(map[catalog.DocID]int64)
+	n.serveMu.Unlock()
+	var total int64
+	for _, w := range out {
+		total += w
+	}
+	return out, total
+}
 
 // holdDoc records a document this node holds from birth or publish: the
 // routing metadata (storeDoc) plus — when the content plane is on — a
@@ -185,9 +272,14 @@ func (n *Node) sendDirect(to model.NodeID, msg any, bulk bool) {
 // contacts need not themselves be in it. At TTL 0 the request dies
 // silently; the fetcher's flood redundancy and re-flood cover the loss.
 func (n *Node) serveManifestReq(from model.NodeID, m wire.ManifestReq) {
+	// Every manifest request seen is one observation of demand — the
+	// crowd signal cache admission keys off, whether or not this node
+	// can answer.
+	n.noteDemand(m.Doc)
 	if n.store != nil {
 		if man, ok := n.store.Manifest(m.Doc); ok {
 			n.stats.Add("transfer_manifests_served", 1)
+			n.noteServe(m.Doc, 1)
 			n.sendDirect(m.Origin, wire.Manifest{
 				Doc:       m.Doc,
 				Xfer:      m.Xfer,
@@ -257,6 +349,7 @@ func (n *Node) serveChunkReq(from model.NodeID, m wire.ChunkReq) {
 			return
 		}
 		n.stats.Add("transfer_bytes_out", int64(len(data)))
+		n.noteServe(m.Doc, 1)
 		n.sendDirect(from, wire.Chunk{Doc: m.Doc, Xfer: m.Xfer, Index: idx, Data: data}, true)
 	}
 }
@@ -271,6 +364,26 @@ func (n *Node) observeRTT(peer model.NodeID, d time.Duration) {
 	}
 	n.rtt[peer] = ms
 	n.rttMu.Unlock()
+}
+
+// prevClusterRecord remembers, for a moved category, the shedding
+// cluster that still holds the only bytes — with an expiry, so the
+// fallback map stays bounded across repeated reassignments and stops
+// pointing at long-stale clusters (entries used to live forever).
+type prevClusterRecord struct {
+	cluster model.ClusterID
+	expires time.Time
+}
+
+// prunePrevClusters drops expired shedding-cluster records. Called from
+// the control loop whenever a move lands, so the map's size is bounded
+// by the categories moved within one TTL window.
+func (n *Node) prunePrevClusters(now time.Time) {
+	for cat, rec := range n.prevCluster {
+		if !now.Before(rec.expires) {
+			delete(n.prevCluster, cat)
+		}
+	}
 }
 
 // fetchSources snapshots the replica holders a fetch should try, in
@@ -300,8 +413,8 @@ func (n *Node) fetchSources(cat catalog.CategoryID) []model.NodeID {
 	if e, ok := n.dcrt[cat]; ok {
 		add(n.nrt[e.Cluster])
 	}
-	if prev, ok := n.prevCluster[cat]; ok {
-		add(n.nrt[prev])
+	if prev, ok := n.prevCluster[cat]; ok && time.Now().Before(prev.expires) {
+		add(n.nrt[prev.cluster])
 	}
 	n.routeMu.RUnlock()
 	if len(out) == 0 {
@@ -381,6 +494,10 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 			return b, nil
 		}
 	}
+	// A remote fetch is one observation of demand; the count (together
+	// with manifest requests seen from the crowd) decides whether the
+	// fetched bytes earn a cache slot on completion.
+	demandHits := n.noteDemand(d)
 	sources := n.fetchSources(doc.Categories[0])
 	if len(sources) == 0 {
 		n.stats.Add("fetch_no_route", 1)
@@ -424,6 +541,18 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 		if elapsed := time.Since(start).Seconds(); bytesIn > 0 && elapsed > 0 {
 			n.xferTput.Observe(float64(bytesIn) / 1024 / elapsed)
 		}
+		// Demand-driven replication, requester side: a document the
+		// demand window saw repeatedly is installed as a cached replica
+		// (its own copy, since the caller owns the returned slice), so
+		// this node starts answering the crowd's ManifestReq floods
+		// instead of joining it.
+		if n.cacheAdmit > 0 && demandHits >= n.cacheAdmit {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			if n.store.PutCached(d, cp) {
+				n.stats.Add("content_cache_installs", 1)
+			}
+		}
 		n.stats.Add("fetches_ok", 1)
 		return data, nil
 	}
@@ -445,7 +574,12 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 	// valid one pins the transfer's geometry, and every distinct sender
 	// is a discovered replica holder queued as a streaming source (the
 	// manifest is content-addressed, so any holder's copy is the same).
-	noteManifest := func(env envelope) {
+	// observe is true only during the discovery phase, when the elapsed
+	// time since the flood IS the sender's round trip; manifests that
+	// straggle in during the chunk phase still extend the failover queue
+	// but are measured against a stale flood timestamp and would poison
+	// the source-ordering EWMA with multi-second outliers.
+	noteManifest := func(env envelope, observe bool) {
 		m, ok := env.Msg.(wire.Manifest)
 		if !ok || m.Doc != d || m.Missing {
 			return
@@ -459,7 +593,11 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 			man = cm
 			asm = content.NewAssembly(cm)
 		}
-		n.observeRTT(env.From, time.Since(lastFlood))
+		if observe {
+			n.observeRTT(env.From, time.Since(lastFlood))
+		} else {
+			n.stats.Add("transfer_late_manifests", 1)
+		}
 		if !pending[env.From] && tries[env.From] < maxTriesPerHolder {
 			pending[env.From] = true
 			holders = append(holders, env.From)
@@ -500,7 +638,7 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 					n.stats.Add("transfer_stalls", 1)
 					break discover
 				case env := <-ch:
-					noteManifest(env)
+					noteManifest(env, true)
 				}
 			}
 		}
@@ -556,7 +694,7 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 			case env := <-ch:
 				c, ok := env.Msg.(wire.Chunk)
 				if !ok {
-					noteManifest(env)
+					noteManifest(env, false)
 					continue
 				}
 				if c.Doc != d {
@@ -621,35 +759,256 @@ func (n *Node) Fetch(ctx context.Context, d catalog.DocID) ([]byte, error) {
 // bytes are installed with Put: move-acquired content is real network
 // bytes, not a synthetic registration, which is what makes the
 // rebalancing data plane honest end to end.
+//
+// Owed documents are queued, never dropped: with every fetcher slot
+// busy the batch waits for the next free slot (counted as
+// transfer_move_queued) instead of being skipped — a skipped batch was
+// never retried, leaving the move-acquired holder permanently byteless.
 func (n *Node) shipMovedDocs(docs []catalog.DocID) {
 	if n.store == nil || len(docs) == 0 {
 		return
 	}
+	n.moveMu.Lock()
+	n.movePending = append(n.movePending, docs...)
 	if n.moveFetchers.Load() >= maxMoveFetchers {
-		n.stats.Add("transfer_move_skipped", int64(len(docs)))
+		n.stats.Add("transfer_move_queued", int64(len(docs)))
+		n.moveMu.Unlock()
 		return
 	}
 	n.moveFetchers.Add(1)
+	n.moveMu.Unlock()
 	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		defer n.moveFetchers.Add(-1)
-		for _, d := range docs {
-			select {
-			case <-n.done:
-				return
-			default:
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), moveFetchTimeout)
-			data, err := n.Fetch(ctx, d)
-			cancel()
-			if err != nil {
-				n.stats.Add("transfer_move_failures", 1)
+	go n.moveFetchLoop()
+}
+
+// moveFetchLoop is one move-shipping worker: it drains the pending
+// queue one document at a time and exits when the queue is empty. The
+// empty check and the fetcher-count decrement happen under the same
+// lock shipMovedDocs appends under, so a doc enqueued while the last
+// worker is exiting is either seen by that worker or gets a fresh one —
+// never stranded.
+func (n *Node) moveFetchLoop() {
+	defer n.wg.Done()
+	for {
+		n.moveMu.Lock()
+		if len(n.movePending) == 0 {
+			n.moveFetchers.Add(-1)
+			n.moveMu.Unlock()
+			return
+		}
+		d := n.movePending[0]
+		n.movePending = n.movePending[1:]
+		n.moveMu.Unlock()
+		select {
+		case <-n.done:
+			n.moveFetchers.Add(-1)
+			return
+		default:
+		}
+		if n.store.Has(d) {
+			continue // a concurrent worker or replicate push landed it
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), moveFetchTimeout)
+		data, err := n.Fetch(ctx, d)
+		cancel()
+		if err != nil {
+			n.stats.Add("transfer_move_failures", 1)
+			continue
+		}
+		n.store.Put(d, data)
+		n.stats.Add("transfer_move_docs", 1)
+		n.stats.Add("transfer_move_bytes", int64(len(data)))
+	}
+}
+
+// pushReplicas is the holder side of demand-driven replication: the
+// cluster leader reported this node overloaded and named under-loaded
+// members (wire.LeaderLoad.Lite); push the manifests of the hottest
+// documents from the last drained serve window at them. Runs in the
+// control loop — it only enqueues frames.
+func (n *Node) pushReplicas(lite []model.NodeID) {
+	if n.store == nil || len(n.lastServed) == 0 {
+		return
+	}
+	type hotDoc struct {
+		d catalog.DocID
+		w int64
+	}
+	hot := make([]hotDoc, 0, len(n.lastServed))
+	for d, w := range n.lastServed {
+		hot = append(hot, hotDoc{d, w})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].w != hot[j].w {
+			return hot[i].w > hot[j].w
+		}
+		return hot[i].d < hot[j].d
+	})
+	if len(hot) > pushHotDocs {
+		hot = hot[:pushHotDocs]
+	}
+	for _, h := range hot {
+		man, ok := n.store.Manifest(h.d)
+		if !ok {
+			continue
+		}
+		msg := wire.Replicate{
+			Doc:       h.d,
+			Size:      man.Size,
+			ChunkSize: int64(man.ChunkSize),
+			Hashes:    man.Hashes,
+		}
+		sent := 0
+		for _, to := range lite {
+			if to == n.id {
 				continue
 			}
-			n.store.Put(d, data)
-			n.stats.Add("transfer_move_docs", 1)
-			n.stats.Add("transfer_move_bytes", int64(len(data)))
+			n.send(to, msg)
+			n.stats.Add("replicate_pushes", 1)
+			if sent++; sent >= pushTargets {
+				break
+			}
 		}
-	}()
+	}
+}
+
+// handleReplicate is the receiving side of a push: validate the
+// manifest, then pull the chunks back from the pusher in the background
+// and install the verified bytes as a cached replica — so the push
+// reuses the credit-granted chunk protocol and the bulk lane rather
+// than inventing an unsolicited bulk-send path. Runs inline on the
+// reader goroutine; bounded to maxPullFetchers concurrent pulls, beyond
+// which pushes are dropped (replication is best-effort).
+func (n *Node) handleReplicate(from model.NodeID, m wire.Replicate) {
+	if n.store == nil || n.cacheAdmit <= 0 {
+		n.stats.Add("replicate_drops", 1)
+		return
+	}
+	man := &content.Manifest{Doc: m.Doc, Size: m.Size, ChunkSize: int(m.ChunkSize), Hashes: m.Hashes}
+	if !man.Valid() || m.Size > n.store.CacheBudget() {
+		n.stats.Add("replicate_drops", 1)
+		return
+	}
+	if n.store.Has(m.Doc) {
+		n.stats.Add("replicate_redundant", 1)
+		return
+	}
+	for {
+		cur := n.pullFetchers.Load()
+		if cur >= maxPullFetchers {
+			n.stats.Add("replicate_drops", 1)
+			return
+		}
+		if n.pullFetchers.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	n.wg.Add(1)
+	go n.pullReplica(from, man)
+}
+
+// pullReplica streams one pushed document's chunks from the pusher
+// under the usual credit window and installs the verified bytes with
+// PutCached — a directed, single-source cut of the Fetch chunk phase
+// (the source is known, so there is no discovery, failover, or resume;
+// one stall re-grant, then give up, the next push tries again).
+func (n *Node) pullReplica(src model.NodeID, man *content.Manifest) {
+	defer n.wg.Done()
+	defer n.pullFetchers.Add(-1)
+	id, ch := n.registerXfer()
+	defer n.unregisterXfer(id)
+	asm := content.NewAssembly(man)
+	d := man.Doc
+	grant := func(idxs []int) {
+		for i := 0; i < len(idxs); {
+			j := i + 1
+			for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
+				j++
+			}
+			n.sendDirect(src, wire.ChunkReq{
+				Doc: d, Xfer: id,
+				First: int64(idxs[i]), Count: int64(j - i),
+			}, false)
+			i = j
+		}
+	}
+	outstanding := make(map[int]struct{}, fetchWindow)
+	initial := asm.Missing(fetchWindow)
+	for _, idx := range initial {
+		outstanding[idx] = struct{}{}
+	}
+	grant(initial)
+	timer := time.NewTimer(chunkStallWait)
+	defer timer.Stop()
+	stalled := false
+	for !asm.Complete() {
+		select {
+		case <-n.done:
+			return
+		case <-timer.C:
+			if stalled {
+				n.stats.Add("replicate_pull_failures", 1)
+				return
+			}
+			stalled = true
+			regrant := asm.Missing(fetchWindow)
+			outstanding = make(map[int]struct{}, len(regrant))
+			for _, idx := range regrant {
+				outstanding[idx] = struct{}{}
+			}
+			grant(regrant)
+			timer.Reset(chunkStallWait)
+		case env := <-ch:
+			c, ok := env.Msg.(wire.Chunk)
+			if !ok || c.Doc != d {
+				continue
+			}
+			if c.Missing {
+				n.stats.Add("replicate_pull_failures", 1)
+				return
+			}
+			added, err := asm.Add(int(c.Index), c.Data)
+			if err != nil {
+				n.stats.Add("chunk_hash_fail", 1)
+				n.stats.Add("replicate_pull_failures", 1)
+				return
+			}
+			if !added {
+				continue
+			}
+			stalled = false
+			n.stats.Add("transfer_bytes_in", int64(len(c.Data)))
+			delete(outstanding, int(c.Index))
+			if len(outstanding) <= fetchRefillAt && !asm.Complete() {
+				var fresh []int
+				for _, idx := range asm.Missing(0) {
+					if len(outstanding)+len(fresh) >= fetchWindow {
+						break
+					}
+					if _, inflight := outstanding[idx]; !inflight {
+						fresh = append(fresh, idx)
+					}
+				}
+				for _, idx := range fresh {
+					outstanding[idx] = struct{}{}
+				}
+				grant(fresh)
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(chunkStallWait)
+		}
+	}
+	data, err := asm.Bytes()
+	if err != nil {
+		n.stats.Add("replicate_pull_failures", 1)
+		return
+	}
+	if n.store.PutCached(d, data) {
+		n.stats.Add("replicate_installs", 1)
+	}
 }

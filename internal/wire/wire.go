@@ -56,7 +56,15 @@ import (
 // Generation 4 adds the content data plane frames: manifest-req,
 // manifest, chunk-req (which doubles as the flow-control credit grant),
 // and chunk.
-const Version = 4
+//
+// Generation 5 adds demand-driven replication: the replicate frame (a
+// holder pushing a hot document's manifest at an under-loaded peer) and
+// the Served/Lite extensions of LeaderLoad that route serve-load
+// measurements up to the leader and under-loaded-member hints back
+// down. As with every bump, mixed-version pairs settle on gob, whose
+// tolerance for unknown struct fields carries the extended LeaderLoad
+// across the gap.
+const Version = 5
 
 // MaxFrameBytes bounds one frame's payload. The largest legitimate
 // message is an address book; at ~30 bytes per peer this admits over a
@@ -83,6 +91,7 @@ const (
 	tagManifest    = 15
 	tagChunkReq    = 16
 	tagChunk       = 17
+	tagReplicate   = 18
 )
 
 // hashSize mirrors content.HashSize (sha256) without importing the
@@ -120,12 +129,19 @@ type Book struct {
 // Hits are per-category request counts; Units is the per-category unit
 // mass u_k·p(D_s(k))/p(D(k)) backing them, so the chosen leader can
 // rebuild the ICLB state from live measurements (§6.1.2).
+// Since generation 5 the member→leader report also carries Served (the
+// member's total chunk/manifest serves this epoch, the content-plane
+// load signal), and the leader's reply path reuses the frame to send
+// Lite — the cluster members with the lightest serve load — back to
+// overloaded members so they know where to push hot replicas.
 type LeaderLoad struct {
 	Epoch      uint64
 	Cluster    model.ClusterID
 	Aggregated bool
 	Hits       map[catalog.CategoryID]int64
 	Units      map[catalog.CategoryID]float64
+	Served     int64
+	Lite       []model.NodeID
 }
 
 // ManifestReq asks a replica holder for a document's manifest. Xfer is
@@ -177,6 +193,18 @@ type Chunk struct {
 	Index   int64
 	Data    []byte
 	Missing bool
+}
+
+// Replicate is a holder-side push trigger: an overloaded replica holder
+// hands an under-loaded serving-cluster member the manifest of a hot
+// document. The receiver pulls the chunks back over the ordinary
+// chunk-req/chunk flow (so the push reuses the credit-based window and
+// the bulk lane) and installs the verified bytes as a cached replica.
+type Replicate struct {
+	Doc       catalog.DocID
+	Size      int64
+	ChunkSize int64
+	Hashes    []byte
 }
 
 // Move announces one category reassignment decided by the chosen leader
@@ -369,7 +397,7 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		b = appendInt(b, int64(m.ID))
 		b = appendUint(b, m.Inc)
 	case LeaderLoad:
-		// leader-load := epoch cluster aggregated hits units
+		// leader-load := epoch cluster aggregated hits units served count lite*
 		b = append(b, tagLeaderLoad)
 		b = appendInt(b, int64(env.From))
 		b = appendUint(b, m.Epoch)
@@ -377,6 +405,11 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		b = appendBool(b, m.Aggregated)
 		b = appendCatInts(b, m.Hits)
 		b = appendCatFloats(b, m.Units)
+		b = appendInt(b, m.Served)
+		b = appendUint(b, uint64(len(m.Lite)))
+		for _, id := range m.Lite {
+			b = appendInt(b, int64(id))
+		}
 	case Move:
 		// move := category from cluster moveCounter
 		b = append(b, tagMove)
@@ -400,6 +433,14 @@ func AppendEnvelope(b []byte, env Envelope) ([]byte, error) {
 		b = appendInt(b, int64(m.Doc))
 		b = appendUint(b, m.Xfer)
 		b = appendBool(b, m.Missing)
+		b = appendInt(b, m.Size)
+		b = appendInt(b, m.ChunkSize)
+		b = appendBytes(b, m.Hashes)
+	case Replicate:
+		// replicate := doc size chunkSize hashes
+		b = append(b, tagReplicate)
+		b = appendInt(b, int64(env.From))
+		b = appendInt(b, int64(m.Doc))
 		b = appendInt(b, m.Size)
 		b = appendInt(b, m.ChunkSize)
 		b = appendBytes(b, m.Hashes)
@@ -734,6 +775,13 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		m.Aggregated = d.bool("aggregated flag")
 		m.Hits = d.catInts("hit map size")
 		m.Units = d.catFloats("unit map size")
+		m.Served = d.int("served count")
+		if n := d.count("lite count"); n > 0 {
+			m.Lite = make([]model.NodeID, n)
+			for i := range m.Lite {
+				m.Lite[i] = model.NodeID(d.int("lite member"))
+			}
+		}
 		env.Msg = m
 	case tagMove:
 		var m Move
@@ -764,6 +812,18 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		// geometry, can only come from corruption or a hostile peer.
 		if d.err == nil && (m.Size < 0 || m.ChunkSize < 0 || len(m.Hashes)%hashSize != 0) {
 			d.fail("manifest geometry")
+		}
+		env.Msg = m
+	case tagReplicate:
+		var m Replicate
+		m.Doc = catalog.DocID(d.int("replicate doc"))
+		m.Size = d.int("replicate size")
+		m.ChunkSize = d.int("replicate chunk size")
+		m.Hashes = d.bytes("replicate hashes")
+		// Same geometry discipline as a manifest: the hash blob must be
+		// whole sha256 hashes with non-negative sizes.
+		if d.err == nil && (m.Size < 0 || m.ChunkSize <= 0 || len(m.Hashes)%hashSize != 0) {
+			d.fail("replicate geometry")
 		}
 		env.Msg = m
 	case tagChunkReq:

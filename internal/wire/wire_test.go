@@ -35,6 +35,7 @@ func init() {
 	gob.Register(Manifest{})
 	gob.Register(ChunkReq{})
 	gob.Register(Chunk{})
+	gob.Register(Replicate{})
 }
 
 // sampleEnvelopes covers every message type, including negative ids
@@ -80,6 +81,10 @@ func sampleEnvelopes() []Envelope {
 			Units: map[catalog.CategoryID]float64{0: 1.5, 3: 0.25},
 		}},
 		{From: 3, Msg: LeaderLoad{Epoch: 1, Cluster: model.NoCluster}},
+		{From: 4, Msg: LeaderLoad{
+			Epoch: 13, Cluster: 1, Served: 512,
+			Lite: []model.NodeID{4, 9, 17},
+		}},
 		{From: 3, Msg: Move{
 			Category: 5, From: 2,
 			Entry: overlay.DCRTEntry{Cluster: 0, MoveCounter: 3},
@@ -100,6 +105,11 @@ func sampleEnvelopes() []Envelope {
 		{From: 7, Msg: ChunkReq{}},
 		{From: 8, Msg: Chunk{Doc: 42, Xfer: 9, Index: 4, Data: []byte{1, 2, 3, 0, 255, 7}}},
 		{From: 8, Msg: Chunk{Doc: 42, Xfer: 9, Index: 5, Missing: true}},
+		{From: 6, Msg: Replicate{
+			Doc: 42, Size: 130<<10 + 17, ChunkSize: 64 << 10,
+			Hashes: bytes.Repeat([]byte{0xCD, 0x34}, 48), // 3 chunks * 32 bytes
+		}},
+		{From: 6, Msg: Replicate{Doc: 3, ChunkSize: 64 << 10}},
 	}
 }
 
@@ -177,6 +187,14 @@ func normalizeMsg(m any) any {
 		}
 		if len(v.Units) == 0 {
 			v.Units = nil
+		}
+		if len(v.Lite) == 0 {
+			v.Lite = nil
+		}
+		return v
+	case Replicate:
+		if len(v.Hashes) == 0 {
+			v.Hashes = nil
 		}
 		return v
 	case overlay.MetadataUpdateMsg:
@@ -272,6 +290,15 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	}
 	if _, err := DecodeEnvelope(negTTL); err == nil {
 		t.Error("negative manifest-req ttl decoded without error")
+	}
+	// A replicate push with a zero chunk size could never be pulled
+	// against; the decoder refuses it like any other bad geometry.
+	badRep, err := AppendEnvelope(nil, Envelope{From: 1, Msg: Replicate{Doc: 7, Size: 96, Hashes: make([]byte, 96)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEnvelope(badRep); err == nil {
+		t.Error("zero-chunk-size replicate decoded without error")
 	}
 }
 
